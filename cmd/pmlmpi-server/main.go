@@ -1,0 +1,73 @@
+// Command pmlmpi-server runs the PML-MPI algorithm-selection service: it
+// loads the pre-trained model bundle and serves selections plus the full
+// observability surface (/metrics, /healthz, /debug/decisions, /v1/select).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/admin"
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/selector"
+)
+
+func main() {
+	var (
+		bundlePath = flag.String("bundle", ".pmlbench/bundle_all_full.json", "path to the model bundle JSON")
+		addr       = flag.String("addr", ":8080", "listen address for the HTTP surface")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		ringSize   = flag.Int("decision-ring", 256, "capacity of the /debug/decisions ring buffer")
+	)
+	flag.Parse()
+
+	o := obs.New(os.Stderr, obs.ParseLevel(*logLevel))
+	if err := run(o, *bundlePath, *addr, *ringSize); err != nil {
+		o.Logger.Error("fatal", "error", err.Error())
+		os.Exit(1)
+	}
+}
+
+func run(o *obs.Obs, bundlePath, addr string, ringSize int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	b, err := bundle.LoadObserved(ctx, o, bundlePath)
+	if err != nil {
+		return fmt.Errorf("load bundle: %w", err)
+	}
+
+	sel := selector.New(b, o, selector.Config{RingSize: ringSize})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           admin.New(sel, o),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		o.Logger.Info("serving", "addr", addr, "collectives", b.CollectiveNames())
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	o.Logger.Info("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}

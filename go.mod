@@ -1,0 +1,3 @@
+module github.com/pml-mpi/pmlmpi
+
+go 1.21

@@ -1,0 +1,180 @@
+// Package admin serves the HTTP operational surface of the PML-MPI
+// selector: Prometheus metrics, health/readiness, a ring buffer of recent
+// decisions, and a JSON selection endpoint. Every request is itself
+// instrumented (request counter + duration histogram + access log), so the
+// admin surface dogfoods the obs package it exposes.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/selector"
+)
+
+// Server is the admin HTTP handler.
+type Server struct {
+	sel     *selector.Selector
+	o       *obs.Obs
+	started time.Time
+	mux     *http.ServeMux
+
+	httpRequests *obs.Counter
+	httpLatency  *obs.Histogram
+}
+
+// New builds the admin surface for a selector.
+func New(sel *selector.Selector, o *obs.Obs) *Server {
+	s := &Server{
+		sel:     sel,
+		o:       o,
+		started: time.Now(),
+		mux:     http.NewServeMux(),
+		httpRequests: o.Registry.Counter("pmlmpi_http_requests_total",
+			"HTTP requests served, by path and status code.", "path", "code"),
+		httpLatency: o.Registry.Histogram("pmlmpi_http_request_duration_seconds",
+			"HTTP request handling latency.", obs.LatencyBuckets, "path"),
+	}
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/debug/decisions", s.instrument("/debug/decisions", s.handleDecisions))
+	s.mux.HandleFunc("/v1/select", s.instrument("/v1/select", s.handleSelect))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, reqID := obs.WithRequestID(r.Context(), r.Header.Get("X-Request-Id"))
+		w.Header().Set("X-Request-Id", reqID)
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sr, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		s.httpRequests.Inc(path, strconv.Itoa(sr.code))
+		s.httpLatency.Observe(elapsed.Seconds(), path)
+		s.o.Logger.WithCtx(ctx).Debug("http request",
+			"method", r.Method,
+			"path", path,
+			"code", sr.code,
+			"duration_us", float64(elapsed.Microseconds()))
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.o.Registry.WritePrometheus(w)
+}
+
+// healthCollective summarizes one collective model for /healthz.
+type healthCollective struct {
+	Trees   int     `json:"trees"`
+	Classes int     `json:"classes"`
+	CVAUC   float64 `json:"cv_auc"`
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status        string                      `json:"status"`
+	BundleLoaded  bool                        `json:"bundle_loaded"`
+	ModelVersion  string                      `json:"model_version"`
+	BundlePath    string                      `json:"bundle_path,omitempty"`
+	TrainedOn     []string                    `json:"trained_on"`
+	Collectives   map[string]healthCollective `json:"collectives"`
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	b := s.sel.Bundle()
+	h := Health{
+		Status:        "ok",
+		BundleLoaded:  true,
+		ModelVersion:  b.Version,
+		BundlePath:    b.Path,
+		TrainedOn:     b.TrainedOn,
+		Collectives:   make(map[string]healthCollective, len(b.Collectives)),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	for name, c := range b.Collectives {
+		h.Collectives[name] = healthCollective{
+			Trees:   len(c.Forest.Trees),
+			Classes: c.Forest.NClasses,
+			CVAUC:   c.CVAUC,
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad n=%q: want a non-negative integer", q))
+			return
+		}
+		n = v
+	}
+	decisions := s.sel.Recent(n)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":     len(decisions),
+		"decisions": decisions,
+	})
+}
+
+// selectRequest is the /v1/select request body.
+type selectRequest struct {
+	Collective string             `json:"collective"`
+	Features   map[string]float64 `json:"features"`
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body: {\"collective\": ..., \"features\": {...}}")
+		return
+	}
+	var req selectRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Collective == "" {
+		writeError(w, http.StatusBadRequest, "missing \"collective\"")
+		return
+	}
+	d, err := s.sel.Select(r.Context(), req.Collective, req.Features)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

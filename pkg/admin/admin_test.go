@@ -1,0 +1,215 @@
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/selector"
+)
+
+const realBundle = "../../.pmlbench/bundle_all_full.json"
+
+var alltoallFeatures = map[string]float64{
+	"log2_msg_size": 22,
+	"ppn":           48,
+	"num_nodes":     32,
+	"mem_bw_gbs":    204.8,
+	"thread_count":  96,
+}
+
+func newTestServer(t *testing.T) (*Server, *selector.Selector, *obs.Obs) {
+	t.Helper()
+	b, err := bundle.Load(realBundle)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	o := obs.NewForTest()
+	sel := selector.New(b, o, selector.Config{RingSize: 8})
+	return New(sel, o), sel, o
+}
+
+func get(t *testing.T, srv http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestMetricsEndpointIncludesEveryRegisteredInstrument(t *testing.T) {
+	srv, sel, o := newTestServer(t)
+
+	// One real selection so the selection counter and latency histogram
+	// have series, then one admin request for the HTTP instruments.
+	if _, err := sel.Select(context.Background(), "alltoall", alltoallFeatures); err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	get(t, srv, "/healthz")
+
+	rec := get(t, srv, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+
+	// Every family registered anywhere in the process must be exposed.
+	for _, name := range o.Registry.FamilyNames() {
+		if !strings.Contains(body, "# TYPE "+name+" ") {
+			t.Errorf("/metrics missing registered family %q", name)
+		}
+	}
+
+	// The acceptance-criteria instruments, with live series.
+	for _, want := range []string{
+		`pmlmpi_selections_total{collective="alltoall",algorithm="pairwise"} 1`,
+		`pmlmpi_prediction_latency_seconds_count{collective="alltoall"} 1`,
+		"pmlmpi_bundle_loaded 1",
+		`pmlmpi_bundle_forest_trees{collective="allgather"} 60`,
+		`pmlmpi_bundle_forest_trees{collective="alltoall"} 100`,
+		`pmlmpi_http_requests_total{path="/healthz",code="200"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	rec := get(t, srv, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", rec.Code)
+	}
+	var h Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if h.Status != "ok" || !h.BundleLoaded {
+		t.Errorf("health = %+v, want ok/loaded", h)
+	}
+	if h.ModelVersion != bundle.SupportedVersion {
+		t.Errorf("model version = %q, want %q", h.ModelVersion, bundle.SupportedVersion)
+	}
+	if len(h.TrainedOn) != 18 {
+		t.Errorf("trained_on has %d systems, want 18", len(h.TrainedOn))
+	}
+	ag, ok := h.Collectives["allgather"]
+	if !ok || ag.Trees != 60 || ag.Classes != 4 {
+		t.Errorf("allgather summary = %+v", ag)
+	}
+	if rec.Header().Get("X-Request-Id") == "" {
+		t.Error("response missing X-Request-Id header")
+	}
+}
+
+func TestDebugDecisionsShowsSelections(t *testing.T) {
+	srv, sel, _ := newTestServer(t)
+	d, err := sel.Select(context.Background(), "alltoall", alltoallFeatures)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+
+	rec := get(t, srv, "/debug/decisions")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/decisions status = %d", rec.Code)
+	}
+	var resp struct {
+		Count     int                 `json:"count"`
+		Decisions []selector.Decision `json:"decisions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decisions not JSON: %v", err)
+	}
+	if resp.Count != 1 || len(resp.Decisions) != 1 {
+		t.Fatalf("count = %d, want 1", resp.Count)
+	}
+	got := resp.Decisions[0]
+	if got.Collective != "alltoall" || got.Algorithm != d.Algorithm || got.Class != d.Class {
+		t.Errorf("decision = %+v, want algorithm %q class %d", got, d.Algorithm, d.Class)
+	}
+	if got.Features["ppn"] != 48 {
+		t.Errorf("features not recorded: %v", got.Features)
+	}
+	if len(got.Votes) != 5 {
+		t.Errorf("vote split = %v, want 5 classes", got.Votes)
+	}
+	if got.LatencyNS <= 0 {
+		t.Error("latency not recorded")
+	}
+
+	// Limit query works.
+	sel.Select(context.Background(), "alltoall", alltoallFeatures)
+	rec = get(t, srv, "/debug/decisions?n=1")
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 {
+		t.Errorf("n=1 returned %d decisions", resp.Count)
+	}
+
+	if rec := get(t, srv, "/debug/decisions?n=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad n should be 400, got %d", rec.Code)
+	}
+}
+
+func TestSelectEndpoint(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+
+	body := `{"collective": "alltoall", "features": {"log2_msg_size": 22, "ppn": 48, "num_nodes": 32, "mem_bw_gbs": 204.8, "thread_count": 96}}`
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/select", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/select status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var d selector.Decision
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	// Golden case: this vector is a near-unanimous pairwise (class 1) pick.
+	if d.Algorithm != "pairwise" || d.Class != 1 {
+		t.Errorf("selection = %q class %d, want pairwise class 1", d.Algorithm, d.Class)
+	}
+
+	// Error paths.
+	if rec := get(t, srv, "/v1/select"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET should be 405, got %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/select", strings.NewReader("{nope")))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body should be 400, got %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/select",
+		strings.NewReader(`{"collective": "broadcast", "features": {}}`)))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown collective should be 422, got %d", rec.Code)
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	srv, sel, _ := newTestServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/v1/select", strings.NewReader(
+		`{"collective": "alltoall", "features": {"log2_msg_size": 10, "ppn": 16, "num_nodes": 8, "mem_bw_gbs": 100, "thread_count": 64}}`))
+	req.Header.Set("X-Request-Id", "caller-supplied-id")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Request-Id"); got != "caller-supplied-id" {
+		t.Errorf("response request ID = %q, want caller's", got)
+	}
+	recent := sel.Recent(1)
+	if len(recent) != 1 || recent[0].RequestID != "caller-supplied-id" {
+		t.Errorf("decision request ID = %+v, want caller-supplied-id", recent)
+	}
+}

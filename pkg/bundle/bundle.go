@@ -1,0 +1,212 @@
+// Package bundle loads and validates the pre-trained PML-MPI model bundle
+// (.pmlbench/bundle_all_full.json): one random forest per collective plus
+// feature metadata and provenance (systems the model was trained on).
+// Loading is defensive — truncated or malformed files yield descriptive
+// errors, never panics — because the bundle is the single artifact the
+// whole selector depends on.
+package bundle
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/forest"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+// SupportedVersion is the bundle schema version this loader understands.
+const SupportedVersion = "pml-mpi/1"
+
+// CanonicalFeatures is the full feature space, in index order, that bundle
+// feature indices refer to. Each collective's forest uses a subset.
+var CanonicalFeatures = []string{
+	"num_nodes",       // 0
+	"ppn",             // 1
+	"log2_msg_size",   // 2
+	"max_clock_ghz",   // 3
+	"l3_cache_mib",    // 4
+	"mem_bw_gbs",      // 5
+	"core_count",      // 6
+	"thread_count",    // 7
+	"sockets",         // 8
+	"numa_nodes",      // 9
+	"pcie_lanes",      // 10
+	"pcie_gen",        // 11
+	"link_speed_gbps", // 12
+	"link_width",      // 13
+}
+
+// Importance is one entry of a collective's full feature-importance table.
+type Importance struct {
+	Name       string  `json:"name"`
+	Index      int     `json:"index"`
+	Importance float64 `json:"importance"`
+}
+
+// Collective is the per-collective model: the trained forest and the
+// feature subset it consumes.
+type Collective struct {
+	Name           string         `json:"-"`
+	Op             int            `json:"op"`
+	FullImportance []Importance   `json:"full_importance"`
+	Features       []int          `json:"features"`
+	FeatureNames   []string       `json:"feature_names"`
+	Forest         *forest.Forest `json:"forest"`
+	CVAUC          float64        `json:"cv_auc"`
+}
+
+// Vector orders the named feature map into the vector layout the forest
+// expects. Every feature in FeatureNames must be present.
+func (c *Collective) Vector(features map[string]float64) ([]float64, error) {
+	x := make([]float64, len(c.FeatureNames))
+	for i, name := range c.FeatureNames {
+		v, ok := features[name]
+		if !ok {
+			return nil, fmt.Errorf("collective %q: missing feature %q (need %v)",
+				c.Name, name, c.FeatureNames)
+		}
+		x[i] = v
+	}
+	return x, nil
+}
+
+// Bundle is a fully loaded and validated model bundle.
+type Bundle struct {
+	Version     string
+	TrainedOn   []string
+	Collectives map[string]*Collective
+	Path        string
+	SizeBytes   int64
+	LoadedAt    time.Time
+}
+
+// Collective returns the model for the named collective.
+func (b *Bundle) Collective(name string) (*Collective, bool) {
+	c, ok := b.Collectives[name]
+	return c, ok
+}
+
+// CollectiveNames returns the sorted names of all collectives in the bundle.
+func (b *Bundle) CollectiveNames() []string {
+	names := make([]string, 0, len(b.Collectives))
+	for n := range b.Collectives {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load reads, parses, and validates a bundle file.
+func Load(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read bundle %s: %w", path, err)
+	}
+	b, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("bundle %s: %w", path, err)
+	}
+	b.Path = path
+	b.SizeBytes = int64(len(data))
+	return b, nil
+}
+
+// LoadObserved wraps Load in a bundle.load tracing span and emits a
+// structured log record with the outcome.
+func LoadObserved(ctx context.Context, o *obs.Obs, path string) (*Bundle, error) {
+	ctx, span := o.Tracer.Start(ctx, "bundle.load")
+	span.SetAttr("path", path)
+	b, err := Load(path)
+	d := span.End()
+	log := o.Logger.WithCtx(ctx)
+	if err != nil {
+		log.Error("bundle load failed", "path", path, "error", err.Error())
+		return nil, err
+	}
+	log.Info("bundle loaded",
+		"path", path,
+		"version", b.Version,
+		"collectives", b.CollectiveNames(),
+		"trained_on_systems", len(b.TrainedOn),
+		"size_bytes", b.SizeBytes,
+		"duration_ms", float64(d.Microseconds())/1000.0)
+	return b, nil
+}
+
+// Parse decodes and validates bundle JSON. Truncated or malformed input
+// returns a descriptive error.
+func Parse(data []byte) (*Bundle, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("parse: bundle file is empty")
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("parse: malformed or truncated bundle JSON (%d bytes): %w", len(data), err)
+	}
+
+	b := &Bundle{Collectives: make(map[string]*Collective), LoadedAt: time.Now()}
+
+	verRaw, ok := raw["version"]
+	if !ok {
+		return nil, fmt.Errorf("parse: bundle missing \"version\" field")
+	}
+	if err := json.Unmarshal(verRaw, &b.Version); err != nil {
+		return nil, fmt.Errorf("parse: bad \"version\" field: %w", err)
+	}
+	if b.Version != SupportedVersion {
+		return nil, fmt.Errorf("unsupported bundle version %q (this build supports %q)", b.Version, SupportedVersion)
+	}
+	if toRaw, ok := raw["trained_on"]; ok {
+		if err := json.Unmarshal(toRaw, &b.TrainedOn); err != nil {
+			return nil, fmt.Errorf("parse: bad \"trained_on\" field: %w", err)
+		}
+	}
+
+	for key, msg := range raw {
+		if key == "version" || key == "trained_on" {
+			continue
+		}
+		c := &Collective{Name: key}
+		if err := json.Unmarshal(msg, c); err != nil {
+			return nil, fmt.Errorf("parse: collective %q: %w", key, err)
+		}
+		if err := validateCollective(c); err != nil {
+			return nil, fmt.Errorf("validate: collective %q: %w", key, err)
+		}
+		b.Collectives[key] = c
+	}
+	if len(b.Collectives) == 0 {
+		return nil, fmt.Errorf("validate: bundle contains no collectives")
+	}
+	return b, nil
+}
+
+func validateCollective(c *Collective) error {
+	if len(c.Features) == 0 {
+		return fmt.Errorf("empty feature subset")
+	}
+	if len(c.Features) != len(c.FeatureNames) {
+		return fmt.Errorf("features (%d) and feature_names (%d) length mismatch",
+			len(c.Features), len(c.FeatureNames))
+	}
+	for i, idx := range c.Features {
+		if idx < 0 || idx >= len(CanonicalFeatures) {
+			return fmt.Errorf("feature index %d out of canonical range [0,%d)", idx, len(CanonicalFeatures))
+		}
+		if want := CanonicalFeatures[idx]; c.FeatureNames[i] != want {
+			return fmt.Errorf("feature_names[%d]=%q does not match canonical feature %q at index %d",
+				i, c.FeatureNames[i], want, idx)
+		}
+	}
+	if c.Forest == nil {
+		return fmt.Errorf("missing forest")
+	}
+	if err := c.Forest.Validate(len(c.Features)); err != nil {
+		return fmt.Errorf("forest: %w", err)
+	}
+	return nil
+}

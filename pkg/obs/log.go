@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity level.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel maps a string ("debug", "info", "warn", "error") to a Level,
+// defaulting to info on unknown input.
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger emits structured JSON lines: one object per record with ts, level,
+// msg, and any key/value fields. It is safe for concurrent use.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level *int32
+	base  []kv // fields attached via With
+	now   func() time.Time
+}
+
+type kv struct {
+	k string
+	v any
+}
+
+// NewLogger returns a logger writing JSON lines at or above the given level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	lv := int32(level)
+	return &Logger{mu: &sync.Mutex{}, w: w, level: &lv, now: time.Now}
+}
+
+// SetLevel changes the minimum emitted level at runtime.
+func (l *Logger) SetLevel(level Level) { atomic.StoreInt32(l.level, int32(level)) }
+
+// Enabled reports whether records at the given level would be emitted.
+func (l *Logger) Enabled(level Level) bool { return level >= Level(atomic.LoadInt32(l.level)) }
+
+// With returns a child logger that attaches the given key/value pairs to
+// every record. Keys must be strings; pairs are (key, value) interleaved.
+func (l *Logger) With(pairs ...any) *Logger {
+	child := *l
+	child.base = append(append([]kv(nil), l.base...), toKVs(pairs)...)
+	return &child
+}
+
+// WithCtx returns a logger that attaches the request ID from ctx, if any.
+func (l *Logger) WithCtx(ctx context.Context) *Logger {
+	if id := RequestIDFrom(ctx); id != "" {
+		return l.With("request_id", id)
+	}
+	return l
+}
+
+func (l *Logger) Debug(msg string, pairs ...any) { l.emit(LevelDebug, msg, pairs) }
+func (l *Logger) Info(msg string, pairs ...any)  { l.emit(LevelInfo, msg, pairs) }
+func (l *Logger) Warn(msg string, pairs ...any)  { l.emit(LevelWarn, msg, pairs) }
+func (l *Logger) Error(msg string, pairs ...any) { l.emit(LevelError, msg, pairs) }
+
+func (l *Logger) emit(level Level, msg string, pairs []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":"`...)
+	buf = append(buf, l.now().UTC().Format(time.RFC3339Nano)...)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, level.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSON(buf, msg)
+	for _, f := range l.base {
+		buf = appendField(buf, f.k, f.v)
+	}
+	for _, f := range toKVs(pairs) {
+		buf = appendField(buf, f.k, f.v)
+	}
+	buf = append(buf, '}', '\n')
+
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+func appendField(buf []byte, k string, v any) []byte {
+	buf = append(buf, ',')
+	buf = appendJSON(buf, k)
+	buf = append(buf, ':')
+	return appendJSON(buf, v)
+}
+
+func appendJSON(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(buf, b...)
+}
+
+func toKVs(pairs []any) []kv {
+	out := make([]kv, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		k, ok := pairs[i].(string)
+		if !ok {
+			k = fmt.Sprint(pairs[i])
+		}
+		out = append(out, kv{k: k, v: pairs[i+1]})
+	}
+	if len(pairs)%2 == 1 {
+		out = append(out, kv{k: "arg", v: pairs[len(pairs)-1]})
+	}
+	return out
+}
+
+type requestIDKey struct{}
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a timestamp-derived ID; uniqueness is best-effort.
+		return fmt.Sprintf("t%015x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID stores a request ID in ctx, generating one if id is empty.
+func WithRequestID(ctx context.Context, id string) (context.Context, string) {
+	if id == "" {
+		id = NewRequestID()
+	}
+	return context.WithValue(ctx, requestIDKey{}, id), id
+}
+
+// RequestIDFrom returns the request ID stored in ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	if id, ok := ctx.Value(requestIDKey{}).(string); ok {
+		return id
+	}
+	return ""
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_requests_total", "Requests.", "path", "code")
+	c.Inc("/metrics", "200")
+	c.Add(2, "/healthz", "200")
+	g := reg.Gauge("test_loaded", "Loaded flag.")
+	g.Set(1)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP test_requests_total Requests.",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{path="/healthz",code="200"} 2`,
+		`test_requests_total{path="/metrics",code="200"} 1`,
+		"# TYPE test_loaded gauge",
+		"test_loaded 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterIsIdempotentlyRegistered(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "x", "l")
+	b := reg.Counter("dup_total", "x", "l")
+	a.Inc("v")
+	b.Inc("v")
+	if got := a.Value("v"); got != 2 {
+		t.Fatalf("shared counter value = %v, want 2", got)
+	}
+}
+
+func TestRegisterConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("shape_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on re-registration with a different type")
+		}
+	}()
+	reg.Gauge("shape_total", "x")
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, "op")
+	h.Observe(0.005, "sel") // bucket 0.01
+	h.Observe(0.05, "sel")  // bucket 0.1
+	h.Observe(0.5, "sel")   // bucket 1
+	h.Observe(5, "sel")     // +Inf
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{op="sel",le="0.01"} 1`,
+		`test_latency_seconds_bucket{op="sel",le="0.1"} 2`,
+		`test_latency_seconds_bucket{op="sel",le="1"} 3`,
+		`test_latency_seconds_bucket{op="sel",le="+Inf"} 4`,
+		`test_latency_seconds_sum{op="sel"} 5.555`,
+		`test_latency_seconds_count{op="sel"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count("sel") != 4 {
+		t.Errorf("Count = %d, want 4", h.Count("sel"))
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "x", "l").Inc(`a"b\c` + "\n")
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if want := `esc_total{l="a\"b\\c\n"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %q in:\n%s", want, b.String())
+	}
+}
+
+func TestFamilyNamesSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("zzz", "x")
+	reg.Counter("aaa_total", "x")
+	got := reg.FamilyNames()
+	if len(got) != 2 || got[0] != "aaa_total" || got[1] != "zzz" {
+		t.Fatalf("FamilyNames = %v", got)
+	}
+}
+
+func TestWrongLabelCountPanics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("labels_total", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong label arity")
+		}
+	}()
+	c.Inc("only-one")
+}

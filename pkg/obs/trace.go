@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"time"
+)
+
+// Tracer creates lightweight spans. Each completed span feeds the
+// pmlmpi_span_duration_seconds histogram (labeled by span name) and, at
+// debug level, a structured log record with the wall time and request ID.
+type Tracer struct {
+	log  *Logger
+	hist *Histogram
+	now  func() time.Time
+}
+
+// NewTracer returns a tracer recording into reg and logging through log.
+func NewTracer(reg *Registry, log *Logger) *Tracer {
+	return &Tracer{
+		log: log,
+		hist: reg.Histogram("pmlmpi_span_duration_seconds",
+			"Wall time of internal tracing spans.", LatencyBuckets, "span"),
+		now: time.Now,
+	}
+}
+
+// Span is one timed region of work. End it exactly once.
+type Span struct {
+	tracer *Tracer
+	name   string
+	parent string
+	reqID  string
+	start  time.Time
+	attrs  []kv
+	ended  bool
+}
+
+type spanKey struct{}
+
+// Start begins a span named name. The returned context carries the span so
+// nested Start calls record their parent.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{
+		tracer: t,
+		name:   name,
+		reqID:  RequestIDFrom(ctx),
+		start:  t.now(),
+	}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok {
+		s.parent = parent.name
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SetAttr attaches a key/value attribute emitted with the span's log record.
+func (s *Span) SetAttr(key string, value any) {
+	s.attrs = append(s.attrs, kv{k: key, v: value})
+}
+
+// End finishes the span, records its duration into the span histogram, and
+// emits a debug log record. It returns the measured duration. Calling End
+// more than once is a no-op returning 0.
+func (s *Span) End() time.Duration {
+	if s.ended {
+		return 0
+	}
+	s.ended = true
+	d := s.tracer.now().Sub(s.start)
+	s.tracer.hist.Observe(d.Seconds(), s.name)
+	if s.tracer.log.Enabled(LevelDebug) {
+		pairs := []any{"span", s.name, "duration_us", float64(d.Microseconds())}
+		if s.parent != "" {
+			pairs = append(pairs, "parent", s.parent)
+		}
+		if s.reqID != "" {
+			pairs = append(pairs, "request_id", s.reqID)
+		}
+		for _, a := range s.attrs {
+			pairs = append(pairs, a.k, a.v)
+		}
+		s.tracer.log.Debug("span", pairs...)
+	}
+	return d
+}
+
+// Obs bundles the three observability primitives every subsystem needs.
+type Obs struct {
+	Registry *Registry
+	Logger   *Logger
+	Tracer   *Tracer
+}
+
+// New builds a full observability stack writing logs to w.
+func New(w io.Writer, level Level) *Obs {
+	reg := NewRegistry()
+	log := NewLogger(w, level)
+	return &Obs{Registry: reg, Logger: log, Tracer: NewTracer(reg, log)}
+}
+
+// NewForTest builds an Obs stack that discards log output.
+func NewForTest() *Obs {
+	return New(io.Discard, LevelDebug)
+}

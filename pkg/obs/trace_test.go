@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanFeedsHistogramAndLog(t *testing.T) {
+	var logBuf bytes.Buffer
+	reg := NewRegistry()
+	log := NewLogger(&logBuf, LevelDebug)
+	tr := NewTracer(reg, log)
+
+	ctx, _ := WithRequestID(context.Background(), "req-123")
+	ctx, outer := tr.Start(ctx, "selector.decide")
+	_, inner := tr.Start(ctx, "forest.eval")
+	inner.SetAttr("trees", 60)
+	if d := inner.End(); d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+	outer.End()
+	if inner.End() != 0 {
+		t.Error("second End should be a no-op returning 0")
+	}
+
+	var expo strings.Builder
+	reg.WritePrometheus(&expo)
+	for _, want := range []string{
+		`pmlmpi_span_duration_seconds_count{span="selector.decide"} 1`,
+		`pmlmpi_span_duration_seconds_count{span="forest.eval"} 1`,
+	} {
+		if !strings.Contains(expo.String(), want) {
+			t.Errorf("exposition missing %q in:\n%s", want, expo.String())
+		}
+	}
+
+	// The inner span's debug record must carry name, parent, request ID,
+	// and attrs as valid JSON.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 span log lines, got %d: %q", len(lines), logBuf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("span log is not JSON: %v: %q", err, lines[0])
+	}
+	if rec["span"] != "forest.eval" || rec["parent"] != "selector.decide" ||
+		rec["request_id"] != "req-123" || rec["trees"] != float64(60) {
+		t.Errorf("unexpected span record: %v", rec)
+	}
+}
+
+func TestLoggerLevelsAndFields(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, LevelInfo)
+	log.Debug("hidden")
+	log.With("component", "bundle").Info("loaded", "size_bytes", 42)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("expected exactly 1 line, got %d: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v", err)
+	}
+	if rec["level"] != "info" || rec["msg"] != "loaded" ||
+		rec["component"] != "bundle" || rec["size_bytes"] != float64(42) {
+		t.Errorf("unexpected record: %v", rec)
+	}
+	if _, ok := rec["ts"]; !ok {
+		t.Error("record missing ts")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "bogus": LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx, id := WithRequestID(context.Background(), "")
+	if id == "" {
+		t.Fatal("expected generated ID")
+	}
+	if got := RequestIDFrom(ctx); got != id {
+		t.Fatalf("RequestIDFrom = %q, want %q", got, id)
+	}
+	if RequestIDFrom(context.Background()) != "" {
+		t.Error("empty context should have no request ID")
+	}
+}

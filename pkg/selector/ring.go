@@ -1,0 +1,52 @@
+package selector
+
+import "sync"
+
+// decisionRing is a fixed-capacity ring buffer of the most recent
+// decisions, newest first on read. Safe for concurrent use.
+type decisionRing struct {
+	mu   sync.Mutex
+	buf  []Decision
+	next int
+	full bool
+}
+
+func newDecisionRing(capacity int) *decisionRing {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &decisionRing{buf: make([]Decision, capacity)}
+}
+
+func (r *decisionRing) add(d Decision) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// last returns up to n decisions, most recent first. n <= 0 means all.
+func (r *decisionRing) last(n int) []Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Decision, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := r.next - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

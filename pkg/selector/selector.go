@@ -1,0 +1,179 @@
+// Package selector is the public inference API of PML-MPI: given a
+// collective name and a named feature map, it returns the predicted best
+// algorithm. Every call is instrumented — tracing spans for feature
+// extraction, forest evaluation, and the overall decision; counters and a
+// latency histogram in the metrics registry; and a ring buffer of recent
+// decisions served on /debug/decisions.
+package selector
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/forest"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+// DefaultAlgorithms maps each collective's class index to a human-readable
+// algorithm name (Open MPI tuned-collective algorithm families). Classes
+// beyond the table fall back to "class_<n>".
+var DefaultAlgorithms = map[string][]string{
+	"allgather": {"recursive_doubling", "bruck", "ring", "neighbor_exchange"},
+	"alltoall":  {"linear", "pairwise", "modified_bruck", "linear_sync", "two_proc"},
+}
+
+// Decision records one completed selection, as surfaced on /debug/decisions.
+type Decision struct {
+	Time       time.Time          `json:"time"`
+	RequestID  string             `json:"request_id,omitempty"`
+	Collective string             `json:"collective"`
+	Features   map[string]float64 `json:"features"`
+	Algorithm  string             `json:"algorithm"`
+	Class      int                `json:"class"`
+	Probs      []float64          `json:"probs"`
+	Votes      []int              `json:"votes"`
+	LatencyNS  int64              `json:"latency_ns"`
+}
+
+// Config tunes a Selector.
+type Config struct {
+	// RingSize is the capacity of the recent-decision buffer (default 128).
+	RingSize int
+	// Algorithms overrides DefaultAlgorithms when non-nil.
+	Algorithms map[string][]string
+}
+
+// Selector performs instrumented algorithm selection over a loaded bundle.
+type Selector struct {
+	b          *bundle.Bundle
+	o          *obs.Obs
+	algorithms map[string][]string
+	ring       *decisionRing
+
+	selections *obs.Counter
+	selErrors  *obs.Counter
+	latency    *obs.Histogram
+}
+
+// New builds a Selector over a validated bundle, registering its
+// instruments (selection counter, error counter, prediction-latency
+// histogram, bundle gauges) in o's registry.
+func New(b *bundle.Bundle, o *obs.Obs, cfg Config) *Selector {
+	algos := cfg.Algorithms
+	if algos == nil {
+		algos = DefaultAlgorithms
+	}
+	reg := o.Registry
+	s := &Selector{
+		b:          b,
+		o:          o,
+		algorithms: algos,
+		ring:       newDecisionRing(cfg.RingSize),
+		selections: reg.Counter("pmlmpi_selections_total",
+			"Completed algorithm selections.", "collective", "algorithm"),
+		selErrors: reg.Counter("pmlmpi_selection_errors_total",
+			"Failed algorithm selections.", "collective", "reason"),
+		latency: reg.Histogram("pmlmpi_prediction_latency_seconds",
+			"End-to-end Select latency.", obs.LatencyBuckets, "collective"),
+	}
+
+	reg.Gauge("pmlmpi_bundle_loaded", "1 when a model bundle is loaded.").Set(1)
+	reg.Gauge("pmlmpi_bundle_size_bytes", "Size of the loaded bundle file.").Set(float64(b.SizeBytes))
+	reg.Gauge("pmlmpi_bundle_trained_systems", "Systems the bundle was trained on.").Set(float64(len(b.TrainedOn)))
+	trees := reg.Gauge("pmlmpi_bundle_forest_trees", "Trees per collective forest.", "collective")
+	for name, c := range b.Collectives {
+		trees.Set(float64(len(c.Forest.Trees)), name)
+	}
+	return s
+}
+
+// Bundle returns the underlying model bundle.
+func (s *Selector) Bundle() *bundle.Bundle { return s.b }
+
+// Recent returns up to n recent decisions, newest first (n <= 0 for all).
+func (s *Selector) Recent(n int) []Decision { return s.ring.last(n) }
+
+// AlgorithmName maps a class index of a collective to its algorithm name.
+func (s *Selector) AlgorithmName(collective string, class int) string {
+	if names, ok := s.algorithms[collective]; ok && class >= 0 && class < len(names) {
+		return names[class]
+	}
+	return fmt.Sprintf("class_%d", class)
+}
+
+// Select predicts the best algorithm for the collective given the named
+// feature map. It is the hot path: one span per stage, one histogram
+// observation, one counter increment, and a ring-buffer append.
+func (s *Selector) Select(ctx context.Context, collective string, features map[string]float64) (*Decision, error) {
+	ctx, reqID := obs.WithRequestID(ctx, obs.RequestIDFrom(ctx))
+	ctx, decide := s.o.Tracer.Start(ctx, "selector.decide")
+	decide.SetAttr("collective", collective)
+	start := time.Now()
+
+	c, ok := s.b.Collective(collective)
+	if !ok {
+		decide.End()
+		s.selErrors.Inc(collective, "unknown_collective")
+		return nil, fmt.Errorf("unknown collective %q (bundle has %v)", collective, s.b.CollectiveNames())
+	}
+
+	_, extract := s.o.Tracer.Start(ctx, "feature.extract")
+	x, err := c.Vector(features)
+	extract.End()
+	if err != nil {
+		decide.End()
+		s.selErrors.Inc(collective, "missing_feature")
+		return nil, err
+	}
+
+	_, eval := s.o.Tracer.Start(ctx, "forest.eval")
+	pred, err := c.Forest.Predict(x)
+	eval.End()
+	if err != nil {
+		decide.End()
+		s.selErrors.Inc(collective, "forest_error")
+		return nil, fmt.Errorf("collective %q: %w", collective, err)
+	}
+
+	elapsed := time.Since(start)
+	decide.SetAttr("class", pred.Class)
+	decide.End()
+
+	algo := s.AlgorithmName(collective, pred.Class)
+	s.selections.Inc(collective, algo)
+	s.latency.Observe(elapsed.Seconds(), collective)
+
+	d := Decision{
+		Time:       start,
+		RequestID:  reqID,
+		Collective: collective,
+		Features:   copyFeatures(features),
+		Algorithm:  algo,
+		Class:      pred.Class,
+		Probs:      pred.Probs,
+		Votes:      pred.Votes,
+		LatencyNS:  elapsed.Nanoseconds(),
+	}
+	s.ring.add(d)
+
+	s.o.Logger.WithCtx(ctx).Info("selection",
+		"collective", collective,
+		"algorithm", algo,
+		"class", pred.Class,
+		"latency_us", float64(elapsed.Microseconds()))
+	return &d, nil
+}
+
+func copyFeatures(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Prediction re-exports the forest prediction type for callers that want
+// raw ensemble output without the decision envelope.
+type Prediction = forest.Prediction
