@@ -16,9 +16,22 @@ import (
 
 	"github.com/pml-mpi/pmlmpi/pkg/admin"
 	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/cache"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
 )
+
+// options collects the flag-derived server configuration.
+type options struct {
+	bundlePath    string
+	addr          string
+	ringSize      int
+	cacheEntries  int
+	cacheShards   int
+	cacheTTL      time.Duration
+	batchWorkers  int
+	parallelTrees int
+}
 
 func main() {
 	var (
@@ -26,35 +39,70 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address for the HTTP surface")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		ringSize   = flag.Int("decision-ring", 256, "capacity of the /debug/decisions ring buffer")
+
+		cacheEntries = flag.Int("cache-entries", 65536, "decision-cache capacity in entries (0 disables the cache)")
+		cacheShards  = flag.Int("cache-shards", 16, "decision-cache shard count (rounded up to a power of two)")
+		cacheTTL     = flag.Duration("cache-ttl", 10*time.Minute, "decision-cache entry lifetime (0 = never expire)")
+
+		batchWorkers  = flag.Int("batch-workers", 0, "worker-pool size for /v1/select/batch (0 = GOMAXPROCS)")
+		parallelTrees = flag.Int("parallel-trees", 0, "evaluate forests with at least this many trees concurrently (0 disables)")
 	)
 	flag.Parse()
 
 	o := obs.New(os.Stderr, obs.ParseLevel(*logLevel))
-	if err := run(o, *bundlePath, *addr, *ringSize); err != nil {
+	err := run(o, options{
+		bundlePath:    *bundlePath,
+		addr:          *addr,
+		ringSize:      *ringSize,
+		cacheEntries:  *cacheEntries,
+		cacheShards:   *cacheShards,
+		cacheTTL:      *cacheTTL,
+		batchWorkers:  *batchWorkers,
+		parallelTrees: *parallelTrees,
+	})
+	if err != nil {
 		o.Logger.Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(o *obs.Obs, bundlePath, addr string, ringSize int) error {
+func run(o *obs.Obs, opts options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	b, err := bundle.LoadObserved(ctx, o, bundlePath)
+	b, err := bundle.LoadObserved(ctx, o, opts.bundlePath)
 	if err != nil {
 		return fmt.Errorf("load bundle: %w", err)
 	}
 
-	sel := selector.New(b, o, selector.Config{RingSize: ringSize})
+	var decisionCache *cache.Cache
+	if opts.cacheEntries > 0 {
+		decisionCache = cache.New(cache.Config{
+			Shards:     opts.cacheShards,
+			MaxEntries: opts.cacheEntries,
+			TTL:        opts.cacheTTL,
+		}, o.Registry)
+		o.Logger.Info("decision cache enabled",
+			"entries", opts.cacheEntries, "shards", opts.cacheShards, "ttl", opts.cacheTTL.String())
+	} else {
+		o.Logger.Info("decision cache disabled")
+	}
+
+	sel := selector.New(b, o, selector.Config{
+		RingSize:              opts.ringSize,
+		Cache:                 decisionCache,
+		BatchWorkers:          opts.batchWorkers,
+		ParallelTreeThreshold: opts.parallelTrees,
+	})
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              opts.addr,
 		Handler:           admin.New(sel, o),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		o.Logger.Info("serving", "addr", addr, "collectives", b.CollectiveNames())
+		o.Logger.Info("serving", "addr", opts.addr, "collectives", b.CollectiveNames())
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}

@@ -43,6 +43,7 @@ func New(sel *selector.Selector, o *obs.Obs) *Server {
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/debug/decisions", s.instrument("/debug/decisions", s.handleDecisions))
 	s.mux.HandleFunc("/v1/select", s.instrument("/v1/select", s.handleSelect))
+	s.mux.HandleFunc("/v1/select/batch", s.instrument("/v1/select/batch", s.handleSelectBatch))
 	return s
 }
 
@@ -147,7 +148,7 @@ type selectRequest struct {
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body: {\"collective\": ..., \"features\": {...}}")
+		methodNotAllowed(w, "POST a JSON body: {\"collective\": ..., \"features\": {...}}")
 		return
 	}
 	var req selectRequest
@@ -167,6 +168,62 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d)
 }
 
+// MaxBatchItems bounds one /v1/select/batch request.
+const MaxBatchItems = 1024
+
+// batchRequest is the /v1/select/batch request body.
+type batchRequest struct {
+	Requests []selector.BatchRequest `json:"requests"`
+}
+
+// batchItemResponse is one entry of the /v1/select/batch response's
+// "results" array. Exactly one of Decision and Error is set.
+type batchItemResponse struct {
+	Decision *selector.Decision `json:"decision,omitempty"`
+	Error    string             `json:"error,omitempty"`
+}
+
+// batchResponse is the /v1/select/batch response body. The results array
+// is positional: results[i] answers requests[i]. Item failures are
+// reported inline with HTTP 200; only malformed envelopes get 4xx.
+type batchResponse struct {
+	Count   int                 `json:"count"`
+	Errors  int                 `json:"errors"`
+	Results []batchItemResponse `json:"results"`
+}
+
+func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, "POST a JSON body: {\"requests\": [{\"collective\": ..., \"features\": {...}}, ...]}")
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: \"requests\" must have at least one item")
+		return
+	}
+	if len(req.Requests) > MaxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d items exceeds the limit of %d", len(req.Requests), MaxBatchItems))
+		return
+	}
+	results := s.sel.SelectBatch(r.Context(), req.Requests)
+	resp := batchResponse{Count: len(results), Results: make([]batchItemResponse, len(results))}
+	for i, res := range results {
+		if res.Err != nil {
+			resp.Errors++
+			resp.Results[i] = batchItemResponse{Error: res.Err.Error()}
+			continue
+		}
+		resp.Results[i] = batchItemResponse{Decision: res.Decision}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -177,4 +234,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// methodNotAllowed writes a 405 with the RFC-required Allow header; all
+// mutating endpoints here are POST-only.
+func methodNotAllowed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Allow", http.MethodPost)
+	writeError(w, http.StatusMethodNotAllowed, msg)
 }

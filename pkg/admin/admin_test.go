@@ -3,12 +3,14 @@ package admin
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/cache"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
 )
@@ -192,6 +194,169 @@ func TestSelectEndpoint(t *testing.T) {
 		strings.NewReader(`{"collective": "broadcast", "features": {}}`)))
 	if rec.Code != http.StatusUnprocessableEntity {
 		t.Errorf("unknown collective should be 422, got %d", rec.Code)
+	}
+}
+
+func post(t *testing.T, srv http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, strings.NewReader(body)))
+	return rec
+}
+
+func TestSelectEndpointsRejectNonPOSTWithAllowHeader(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	for _, path := range []string{"/v1/select", "/v1/select/batch"} {
+		for _, method := range []string{http.MethodGet, http.MethodPut, http.MethodDelete} {
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s = %d, want 405", method, path, rec.Code)
+			}
+			if got := rec.Header().Get("Allow"); got != http.MethodPost {
+				t.Errorf("%s %s Allow header = %q, want POST", method, path, got)
+			}
+		}
+	}
+}
+
+func TestSelectBatchErrorPaths(t *testing.T) {
+	goodItem := `{"collective":"alltoall","features":{"log2_msg_size":22,"ppn":48,"num_nodes":32,"mem_bw_gbs":204.8,"thread_count":96}}`
+	oversized := `{"requests":[` + goodItem
+	for i := 0; i < MaxBatchItems; i++ {
+		oversized += "," + goodItem
+	}
+	oversized += `]}`
+
+	tests := []struct {
+		name       string
+		body       string
+		wantCode   int
+		wantErrSub string // substring of the top-level "error" field
+		wantItems  int    // for 200 responses: expected results length
+		wantItem0  string // for 200 responses: substring of results[0].error ("" = success)
+	}{
+		{
+			name:       "bad JSON",
+			body:       `{"requests": [{"collective"`,
+			wantCode:   http.StatusBadRequest,
+			wantErrSub: "bad request body",
+		},
+		{
+			name:       "empty batch",
+			body:       `{"requests": []}`,
+			wantCode:   http.StatusBadRequest,
+			wantErrSub: "empty batch",
+		},
+		{
+			name:       "missing requests field",
+			body:       `{}`,
+			wantCode:   http.StatusBadRequest,
+			wantErrSub: "empty batch",
+		},
+		{
+			name:       "oversized batch",
+			body:       oversized,
+			wantCode:   http.StatusBadRequest,
+			wantErrSub: fmt.Sprintf("limit of %d", MaxBatchItems),
+		},
+		{
+			name:      "unknown collective reported per item",
+			body:      `{"requests": [{"collective": "broadcast", "features": {}}, ` + goodItem + `]}`,
+			wantCode:  http.StatusOK,
+			wantItems: 2,
+			wantItem0: "unknown collective",
+		},
+		{
+			name:      "missing feature reported per item",
+			body:      `{"requests": [{"collective": "alltoall", "features": {"ppn": 4}}]}`,
+			wantCode:  http.StatusOK,
+			wantItems: 1,
+			wantItem0: "missing feature",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, _, _ := newTestServer(t)
+			rec := post(t, srv, "/v1/select/batch", tc.body)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("status = %d, want %d: %s", rec.Code, tc.wantCode, rec.Body.String())
+			}
+			if tc.wantCode != http.StatusOK {
+				var e map[string]string
+				if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+					t.Fatalf("error response not JSON: %v", err)
+				}
+				if !strings.Contains(e["error"], tc.wantErrSub) {
+					t.Errorf("error = %q, want substring %q", e["error"], tc.wantErrSub)
+				}
+				return
+			}
+			var resp batchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("response not JSON: %v", err)
+			}
+			if resp.Count != tc.wantItems || len(resp.Results) != tc.wantItems {
+				t.Fatalf("count = %d (results %d), want %d", resp.Count, len(resp.Results), tc.wantItems)
+			}
+			if tc.wantItem0 != "" && !strings.Contains(resp.Results[0].Error, tc.wantItem0) {
+				t.Errorf("results[0].error = %q, want substring %q", resp.Results[0].Error, tc.wantItem0)
+			}
+		})
+	}
+}
+
+func TestSelectBatchSuccess(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	item := `{"collective":"alltoall","features":{"log2_msg_size":22,"ppn":48,"num_nodes":32,"mem_bw_gbs":204.8,"thread_count":96}}`
+	rec := post(t, srv, "/v1/select/batch", `{"requests":[`+item+`,`+item+`]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 2 || resp.Errors != 0 {
+		t.Fatalf("count=%d errors=%d, want 2/0", resp.Count, resp.Errors)
+	}
+	for i, r := range resp.Results {
+		if r.Decision == nil || r.Decision.Algorithm != "pairwise" || r.Decision.Class != 1 {
+			t.Errorf("results[%d] = %+v, want pairwise class 1", i, r)
+		}
+	}
+}
+
+func TestMetricsExposeCacheAndBatchInstruments(t *testing.T) {
+	// A server wired like production (cache enabled) must surface the
+	// cache hit/miss/eviction counters and batch instruments on /metrics.
+	b, err := bundle.Load(realBundle)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	o := obs.NewForTest()
+	sel := selector.New(b, o, selector.Config{
+		Cache: cache.New(cache.Config{MaxEntries: 1024}, o.Registry),
+	})
+	srv := New(sel, o)
+
+	item := `{"collective":"alltoall","features":{"log2_msg_size":22,"ppn":48,"num_nodes":32,"mem_bw_gbs":204.8,"thread_count":96}}`
+	post(t, srv, "/v1/select", item)                             // miss
+	post(t, srv, "/v1/select", item)                             // hit
+	post(t, srv, "/v1/select/batch", `{"requests":[`+item+`]}`) // hit via batch
+
+	body := get(t, srv, "/metrics").Body.String()
+	for _, want := range []string{
+		"pmlmpi_cache_hits_total 2",
+		"pmlmpi_cache_misses_total 1",
+		"# TYPE pmlmpi_cache_evictions_total counter",
+		"pmlmpi_cache_entries 1",
+		"pmlmpi_batch_requests_total 1",
+		"pmlmpi_batch_size_items_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }
 

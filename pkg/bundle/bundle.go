@@ -63,15 +63,28 @@ type Collective struct {
 // expects. Every feature in FeatureNames must be present.
 func (c *Collective) Vector(features map[string]float64) ([]float64, error) {
 	x := make([]float64, len(c.FeatureNames))
+	if err := c.VectorInto(x, features); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// VectorInto is Vector without the allocation: it fills x, which must have
+// exactly len(FeatureNames) entries, for hot paths that reuse a buffer.
+func (c *Collective) VectorInto(x []float64, features map[string]float64) error {
+	if len(x) != len(c.FeatureNames) {
+		return fmt.Errorf("collective %q: vector buffer has %d entries, need %d",
+			c.Name, len(x), len(c.FeatureNames))
+	}
 	for i, name := range c.FeatureNames {
 		v, ok := features[name]
 		if !ok {
-			return nil, fmt.Errorf("collective %q: missing feature %q (need %v)",
+			return fmt.Errorf("collective %q: missing feature %q (need %v)",
 				c.Name, name, c.FeatureNames)
 		}
 		x[i] = v
 	}
-	return x, nil
+	return nil
 }
 
 // Bundle is a fully loaded and validated model bundle.

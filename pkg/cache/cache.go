@@ -1,0 +1,222 @@
+// Package cache is a sharded, bounded, TTL-aware memoization cache for
+// selection decisions. Keys are opaque byte strings (the selector derives
+// them from the collective name plus the quantized feature vector), values
+// are arbitrary immutable payloads. Each shard is an independent LRU list
+// guarded by its own mutex, so concurrent readers on different keys rarely
+// contend. Hit/miss/eviction counts are kept twice: as lock-free atomics
+// (for cheap programmatic assertions via Stats) and as obs counters (so
+// they show up on /metrics).
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+// Config tunes a Cache.
+type Config struct {
+	// Shards is the number of independent shards; it is rounded up to the
+	// next power of two. Default 16.
+	Shards int
+	// MaxEntries bounds the total number of live entries across all
+	// shards; the bound is enforced per shard (MaxEntries/Shards each, at
+	// least 1). Default 65536.
+	MaxEntries int
+	// TTL is how long an entry stays valid after Put. Zero means entries
+	// never expire.
+	TTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 65536
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64 // LRU and TTL evictions combined
+	Entries   int
+}
+
+// Cache is a sharded LRU/TTL cache. Safe for concurrent use.
+type Cache struct {
+	shards []shard
+	mask   uint32
+	ttl    time.Duration
+	now    func() time.Time
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	mHits      *obs.Counter
+	mMisses    *obs.Counter
+	mEvictions *obs.Counter
+	mEntries   *obs.Gauge
+}
+
+type shard struct {
+	mu      sync.Mutex
+	lru     *list.List // front = most recently used
+	entries map[string]*list.Element
+	cap     int
+}
+
+type entry struct {
+	key     string
+	val     any
+	expires time.Time // zero = never
+}
+
+// New builds a cache and registers its instruments in reg:
+// pmlmpi_cache_hits_total, pmlmpi_cache_misses_total,
+// pmlmpi_cache_evictions_total{reason}, pmlmpi_cache_entries.
+func New(cfg Config, reg *obs.Registry) *Cache {
+	cfg = cfg.withDefaults()
+	perShard := cfg.MaxEntries / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{
+		shards: make([]shard, cfg.Shards),
+		mask:   uint32(cfg.Shards - 1),
+		ttl:    cfg.TTL,
+		now:    time.Now,
+		mHits: reg.Counter("pmlmpi_cache_hits_total",
+			"Decision-cache lookups served from cache."),
+		mMisses: reg.Counter("pmlmpi_cache_misses_total",
+			"Decision-cache lookups that fell through to the forest."),
+		mEvictions: reg.Counter("pmlmpi_cache_evictions_total",
+			"Decision-cache entries evicted.", "reason"),
+		mEntries: reg.Gauge("pmlmpi_cache_entries",
+			"Live decision-cache entries."),
+	}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].entries = make(map[string]*list.Element)
+		c.shards[i].cap = perShard
+	}
+	return c
+}
+
+// fnv32a hashes the key to pick a shard.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[fnv32a(key)&c.mask]
+}
+
+// Get returns the value stored under key, refreshing its LRU position. An
+// expired entry is removed and counted as a TTL eviction plus a miss.
+func (c *Cache) Get(key string) (any, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.entries[key]
+	if ok {
+		e := el.Value.(*entry)
+		if !e.expires.IsZero() && c.now().After(e.expires) {
+			sh.lru.Remove(el)
+			delete(sh.entries, key)
+			sh.mu.Unlock()
+			c.evictions.Add(1)
+			c.mEvictions.Inc("ttl")
+			c.mEntries.Add(-1)
+			c.misses.Add(1)
+			c.mMisses.Inc()
+			return nil, false
+		}
+		sh.lru.MoveToFront(el)
+		val := e.val
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		c.mHits.Inc()
+		return val, true
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	c.mMisses.Inc()
+	return nil, false
+}
+
+// Put stores val under key, evicting the shard's least recently used entry
+// if the shard is at capacity. Re-putting an existing key refreshes its
+// value, TTL, and LRU position without eviction.
+func (c *Cache) Put(key string, val any) {
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		e := el.Value.(*entry)
+		e.val = val
+		e.expires = expires
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	evicted := false
+	if sh.lru.Len() >= sh.cap {
+		back := sh.lru.Back()
+		if back != nil {
+			sh.lru.Remove(back)
+			delete(sh.entries, back.Value.(*entry).key)
+			evicted = true
+		}
+	}
+	sh.entries[key] = sh.lru.PushFront(&entry{key: key, val: val, expires: expires})
+	sh.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+		c.mEvictions.Inc("lru")
+	} else {
+		c.mEntries.Add(1)
+	}
+}
+
+// Len returns the number of live entries across all shards. Expired but
+// not-yet-collected entries are included.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the atomic counters and current entry count.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}

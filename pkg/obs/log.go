@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -154,14 +155,39 @@ func toKVs(pairs []any) []kv {
 
 type requestIDKey struct{}
 
-// NewRequestID returns a fresh 16-hex-char request ID.
-func NewRequestID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// Fall back to a timestamp-derived ID; uniqueness is best-effort.
-		return fmt.Sprintf("t%015x", time.Now().UnixNano())
+// reqIDPrefix is a per-process random 8-hex-char prefix; reqIDCounter
+// completes each ID. One crypto/rand read at startup instead of one per
+// request keeps ID generation off the selection hot path (~µs → ~ns)
+// while IDs stay unique per process and collision-resistant across
+// processes.
+var (
+	reqIDPrefix  = newReqIDPrefix()
+	reqIDCounter atomic.Uint64
+)
+
+func newReqIDPrefix() [8]byte {
+	var raw [4]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		// Fall back to a timestamp-derived prefix; uniqueness is best-effort.
+		binary.LittleEndian.PutUint32(raw[:], uint32(time.Now().UnixNano()))
 	}
-	return hex.EncodeToString(b[:])
+	var out [8]byte
+	hex.Encode(out[:], raw[:])
+	return out
+}
+
+// NewRequestID returns a fresh 16-hex-char request ID: the process prefix
+// followed by a monotonically increasing counter.
+func NewRequestID() string {
+	var b [16]byte
+	copy(b[:8], reqIDPrefix[:])
+	n := reqIDCounter.Add(1)
+	const digits = "0123456789abcdef"
+	for i := 15; i >= 8; i-- {
+		b[i] = digits[n&0xf]
+		n >>= 4
+	}
+	return string(b[:])
 }
 
 // WithRequestID stores a request ID in ctx, generating one if id is empty.

@@ -144,6 +144,26 @@ func (c *Counter) Value(labelValues ...string) float64 {
 	return s.value
 }
 
+// BoundCounter is a counter pinned to one label combination. Binding once
+// and incrementing the bound handle skips the per-call label join and
+// series map lookup — for hot paths that hit the same series repeatedly.
+type BoundCounter struct {
+	f *family
+	s *series
+}
+
+// Bind resolves (creating if needed) the series for labelValues.
+func (c *Counter) Bind(labelValues ...string) BoundCounter {
+	return BoundCounter{f: c.f, s: c.f.get(labelValues)}
+}
+
+// Inc increments the bound series by 1.
+func (b BoundCounter) Inc() {
+	b.f.mu.Lock()
+	b.s.value++
+	b.f.mu.Unlock()
+}
+
 // Gauge is a metric that can go up and down.
 type Gauge struct{ f *family }
 
@@ -190,11 +210,14 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ..
 
 // Observe records one observation into the series identified by labelValues.
 func (h *Histogram) Observe(v float64, labelValues ...string) {
-	s := h.f.get(labelValues)
-	h.f.mu.Lock()
-	defer h.f.mu.Unlock()
-	idx := len(h.f.buckets) // +Inf slot
-	for i, ub := range h.f.buckets {
+	observeSeries(h.f, h.f.get(labelValues), v)
+}
+
+func observeSeries(f *family, s *series, v float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	idx := len(f.buckets) // +Inf slot
+	for i, ub := range f.buckets {
 		if v <= ub {
 			idx = i
 			break
@@ -203,6 +226,23 @@ func (h *Histogram) Observe(v float64, labelValues ...string) {
 	s.counts[idx]++
 	s.sum += v
 	s.count++
+}
+
+// BoundHistogram is a histogram pinned to one label combination; see
+// BoundCounter for the rationale.
+type BoundHistogram struct {
+	f *family
+	s *series
+}
+
+// Bind resolves (creating if needed) the series for labelValues.
+func (h *Histogram) Bind(labelValues ...string) BoundHistogram {
+	return BoundHistogram{f: h.f, s: h.f.get(labelValues)}
+}
+
+// Observe records one observation into the bound series.
+func (b BoundHistogram) Observe(v float64) {
+	observeSeries(b.f, b.s, v)
 }
 
 // Count returns the total observation count of one series (mainly for tests).

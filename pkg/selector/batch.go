@@ -1,0 +1,79 @@
+package selector
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+// BatchRequest is one item of a SelectBatch call.
+type BatchRequest struct {
+	Collective string             `json:"collective"`
+	Features   map[string]float64 `json:"features"`
+}
+
+// BatchResult pairs each batch item with its decision or error. Exactly
+// one of Decision and Err is set.
+type BatchResult struct {
+	Decision *Decision
+	Err      error
+}
+
+// SelectBatch evaluates every request, fanning the items out across a
+// bounded worker pool (Config.BatchWorkers, default GOMAXPROCS). Results
+// are positional: results[i] answers reqs[i]. Item failures are reported
+// per item, never abort the batch; a cancelled context fails the items not
+// yet started.
+func (s *Selector) SelectBatch(ctx context.Context, reqs []BatchRequest) []BatchResult {
+	results := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	ctx, span := s.o.Tracer.Start(ctx, "selector.batch")
+	span.SetAttr("items", len(reqs))
+	defer span.End()
+	s.batches.Inc()
+	s.batchSize.Observe(float64(len(reqs)))
+
+	workers := s.batchWorkers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i, r := range reqs {
+			results[i] = s.selectOne(ctx, r)
+		}
+		return results
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				results[i] = s.selectOne(ctx, reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+func (s *Selector) selectOne(ctx context.Context, r BatchRequest) BatchResult {
+	if err := ctx.Err(); err != nil {
+		return BatchResult{Err: err}
+	}
+	// Each item gets its own request ID so decisions in the ring stay
+	// individually addressable; the batch span ties them together.
+	itemCtx, _ := obs.WithRequestID(ctx, "")
+	d, err := s.Select(itemCtx, r.Collective, r.Features)
+	return BatchResult{Decision: d, Err: err}
+}

@@ -1,0 +1,109 @@
+package selector
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/cache"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/synth"
+)
+
+// benchBundles spans small/medium/large synthetic forests so benchmark
+// history shows how the hot path scales with ensemble size.
+var benchBundles = []struct {
+	name         string
+	trees, depth int
+}{
+	{"trees=16", 16, 5},
+	{"trees=64", 64, 8},
+	{"trees=256", 256, 10},
+}
+
+func benchSelector(b *testing.B, trees, depth int, withCache bool) *Selector {
+	b.Helper()
+	bd, err := synth.New(synth.Config{Seed: 51, Collectives: []string{"bench"}, Trees: trees, Depth: depth, Features: 6, Classes: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := obs.NewForTest()
+	o.Logger.SetLevel(obs.LevelError) // mute per-selection logs in the hot loop
+	cfg := Config{}
+	if withCache {
+		cfg.Cache = cache.New(cache.Config{}, o.Registry)
+	}
+	return New(bd, o, cfg)
+}
+
+// BenchmarkSelect is the cold path: every iteration walks the full forest
+// (no cache configured).
+func BenchmarkSelect(b *testing.B) {
+	pt := synth.Points(51, 1)[0]
+	for _, size := range benchBundles {
+		s := benchSelector(b, size.trees, size.depth, false)
+		ctx := context.Background()
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Select(ctx, "bench", pt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCacheHit is the warm path over the same synthetic bundles as
+// BenchmarkSelect: the single point is pre-warmed, so every iteration is a
+// cache hit. The acceptance bar is ≥5x lower ns/op than BenchmarkSelect on
+// the matching bundle.
+func BenchmarkCacheHit(b *testing.B) {
+	pt := synth.Points(51, 1)[0]
+	for _, size := range benchBundles {
+		s := benchSelector(b, size.trees, size.depth, true)
+		ctx := context.Background()
+		if _, err := s.Select(ctx, "bench", pt); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := s.Select(ctx, "bench", pt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !d.Cached {
+					b.Fatal("benchmark iteration missed the cache")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelectBatch measures whole-batch throughput (ns/op is per
+// batch, not per item) across batch widths on the medium bundle.
+func BenchmarkSelectBatch(b *testing.B) {
+	pts := synth.Points(51, 64)
+	for _, batch := range []int{8, 64} {
+		reqs := make([]BatchRequest, batch)
+		for i := range reqs {
+			reqs[i] = BatchRequest{Collective: "bench", Features: pts[i%len(pts)]}
+		}
+		for _, cached := range []bool{false, true} {
+			s := benchSelector(b, 64, 8, cached)
+			ctx := context.Background()
+			label := fmt.Sprintf("items=%d/cache=%v", batch, cached)
+			if cached {
+				s.SelectBatch(ctx, reqs) // warm every key
+			}
+			b.Run(label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, r := range s.SelectBatch(ctx, reqs) {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package selector
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/cache"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/synth"
+)
+
+// newCachedSelector builds a selector over a synthetic bundle with the
+// decision cache enabled.
+func newCachedSelector(t testing.TB, cacheCfg cache.Config) (*Selector, *obs.Obs) {
+	t.Helper()
+	b, err := synth.New(synth.Config{Seed: 21, Trees: 16, Depth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewForTest()
+	o.Logger.SetLevel(obs.LevelError)
+	return New(b, o, Config{Cache: cache.New(cacheCfg, o.Registry)}), o
+}
+
+func TestSelectCacheHitReturnsSameDecision(t *testing.T) {
+	s, _ := newCachedSelector(t, cache.Config{})
+	ctx := context.Background()
+	pt := synth.Points(21, 1)[0]
+
+	cold, err := s.Select(ctx, "allgather", pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Error("first selection must be a miss")
+	}
+	warm, err := s.Select(ctx, "allgather", pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Error("second selection of the same point must hit the cache")
+	}
+	if warm.Class != cold.Class || warm.Algorithm != cold.Algorithm {
+		t.Errorf("cached decision = class %d %q, want class %d %q",
+			warm.Class, warm.Algorithm, cold.Class, cold.Algorithm)
+	}
+	if warm.RequestID == cold.RequestID {
+		t.Error("cached decision must get its own request ID")
+	}
+	st, ok := s.CacheStats()
+	if !ok || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v (ok=%v), want 1 hit / 1 miss", st, ok)
+	}
+
+	// A different collective with the same features is a distinct key.
+	if d, err := s.Select(ctx, "alltoall", pt); err != nil {
+		t.Fatal(err)
+	} else if d.Cached {
+		t.Error("different collective must not share a cache entry")
+	}
+}
+
+func TestCacheKeyQuantization(t *testing.T) {
+	s, _ := newCachedSelector(t, cache.Config{})
+	ctx := context.Background()
+	pt := synth.Points(22, 1)[0]
+	if _, err := s.Select(ctx, "allgather", pt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within a quantum (1e-6): same key, hit.
+	near := map[string]float64{}
+	for k, v := range pt {
+		near[k] = v + 1e-8
+	}
+	d, err := s.Select(ctx, "allgather", near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Cached {
+		t.Error("sub-quantum perturbation should hit the cache")
+	}
+
+	// Far beyond a quantum: different key, miss.
+	far := map[string]float64{}
+	for k, v := range pt {
+		far[k] = v + 0.5
+	}
+	d, err = s.Select(ctx, "allgather", far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cached {
+		t.Error("perturbation beyond the quantum should miss")
+	}
+}
+
+func TestSelectWithoutCacheHasNoStats(t *testing.T) {
+	b, err := synth.New(synth.Config{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(b, obs.NewForTest(), Config{})
+	if _, err := s.Select(context.Background(), "allgather", synth.Points(23, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.CacheStats(); ok {
+		t.Error("CacheStats should report ok=false with no cache configured")
+	}
+}
+
+func TestCachedDecisionsAppearInRing(t *testing.T) {
+	s, _ := newCachedSelector(t, cache.Config{})
+	ctx := context.Background()
+	pt := synth.Points(24, 1)[0]
+	s.Select(ctx, "allgather", pt)
+	s.Select(ctx, "allgather", pt)
+	recent := s.Recent(2)
+	if len(recent) != 2 {
+		t.Fatalf("ring holds %d decisions, want 2", len(recent))
+	}
+	if !recent[0].Cached || recent[1].Cached {
+		t.Errorf("ring order wrong: newest cached=%v, oldest cached=%v", recent[0].Cached, recent[1].Cached)
+	}
+}
+
+func TestCacheTTLExpiryForcesReevaluation(t *testing.T) {
+	s, _ := newCachedSelector(t, cache.Config{TTL: time.Nanosecond})
+	ctx := context.Background()
+	pt := synth.Points(25, 1)[0]
+	s.Select(ctx, "allgather", pt)
+	time.Sleep(time.Millisecond) // let the nanosecond TTL lapse
+	d, err := s.Select(ctx, "allgather", pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cached {
+		t.Error("expired entry must be re-evaluated")
+	}
+	if st, _ := s.CacheStats(); st.Evictions != 1 {
+		t.Errorf("stats = %+v, want exactly 1 TTL eviction", st)
+	}
+}

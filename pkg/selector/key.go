@@ -1,0 +1,31 @@
+package selector
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// featureKey derives the decision-cache key: the collective name, a NUL
+// separator, then each feature of the ordered vector quantized to the
+// given step and encoded as a fixed-width integer. Quantization makes
+// near-identical float inputs (e.g. 48.0 vs 48.0000004) share a cache
+// line; non-finite values fall back to their raw bit pattern so they still
+// key deterministically instead of tripping float→int conversion edge
+// cases.
+func featureKey(collective string, x []float64, quantum float64) string {
+	buf := make([]byte, 0, len(collective)+1+8*len(x))
+	buf = append(buf, collective...)
+	buf = append(buf, 0)
+	var tmp [8]byte
+	for _, v := range x {
+		var q uint64
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			q = math.Float64bits(v)
+		} else {
+			q = uint64(int64(math.Round(v / quantum)))
+		}
+		binary.LittleEndian.PutUint64(tmp[:], q)
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}

@@ -9,9 +9,11 @@ package selector
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/cache"
 	"github.com/pml-mpi/pmlmpi/pkg/forest"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 )
@@ -35,7 +37,15 @@ type Decision struct {
 	Probs      []float64          `json:"probs"`
 	Votes      []int              `json:"votes"`
 	LatencyNS  int64              `json:"latency_ns"`
+	// Cached is true when the decision was served from the feature-keyed
+	// decision cache instead of a fresh forest evaluation.
+	Cached bool `json:"cached,omitempty"`
 }
+
+// DefaultCacheQuantum is the feature quantization step used for cache keys
+// when Config.CacheQuantum is zero: features within 1e-6 of each other map
+// to the same cached decision.
+const DefaultCacheQuantum = 1e-6
 
 // Config tunes a Selector.
 type Config struct {
@@ -43,6 +53,19 @@ type Config struct {
 	RingSize int
 	// Algorithms overrides DefaultAlgorithms when non-nil.
 	Algorithms map[string][]string
+	// Cache, when non-nil, memoizes decisions keyed by the collective name
+	// plus the quantized feature vector. Cached Decision payloads (probs,
+	// votes, features) are shared across callers and must not be mutated.
+	Cache *cache.Cache
+	// CacheQuantum is the quantization step applied to each feature before
+	// key derivation (default DefaultCacheQuantum).
+	CacheQuantum float64
+	// BatchWorkers bounds SelectBatch's worker pool (default GOMAXPROCS).
+	BatchWorkers int
+	// ParallelTreeThreshold enables concurrent tree evaluation for forests
+	// with at least this many trees (0 disables it — the default — since
+	// goroutine fan-out only pays off for large ensembles).
+	ParallelTreeThreshold int
 }
 
 // Selector performs instrumented algorithm selection over a loaded bundle.
@@ -51,11 +74,22 @@ type Selector struct {
 	o          *obs.Obs
 	algorithms map[string][]string
 	ring       *decisionRing
+	cache      *cache.Cache
+	quantum    float64
+
+	batchWorkers  int
+	parallelTrees int
+	treeWorkers   int
 
 	selections *obs.Counter
 	selErrors  *obs.Counter
 	latency    *obs.Histogram
+	batches    *obs.Counter
+	batchSize  *obs.Histogram
 }
+
+// batchSizeBuckets are the histogram buckets for SelectBatch request sizes.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 // New builds a Selector over a validated bundle, registering its
 // instruments (selection counter, error counter, prediction-latency
@@ -65,18 +99,39 @@ func New(b *bundle.Bundle, o *obs.Obs, cfg Config) *Selector {
 	if algos == nil {
 		algos = DefaultAlgorithms
 	}
+	quantum := cfg.CacheQuantum
+	if quantum <= 0 {
+		quantum = DefaultCacheQuantum
+	}
+	workers := cfg.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	treeWorkers := runtime.GOMAXPROCS(0)
+	if treeWorkers > 8 {
+		treeWorkers = 8
+	}
 	reg := o.Registry
 	s := &Selector{
-		b:          b,
-		o:          o,
-		algorithms: algos,
-		ring:       newDecisionRing(cfg.RingSize),
+		b:             b,
+		o:             o,
+		algorithms:    algos,
+		ring:          newDecisionRing(cfg.RingSize),
+		cache:         cfg.Cache,
+		quantum:       quantum,
+		batchWorkers:  workers,
+		parallelTrees: cfg.ParallelTreeThreshold,
+		treeWorkers:   treeWorkers,
 		selections: reg.Counter("pmlmpi_selections_total",
 			"Completed algorithm selections.", "collective", "algorithm"),
 		selErrors: reg.Counter("pmlmpi_selection_errors_total",
 			"Failed algorithm selections.", "collective", "reason"),
 		latency: reg.Histogram("pmlmpi_prediction_latency_seconds",
 			"End-to-end Select latency.", obs.LatencyBuckets, "collective"),
+		batches: reg.Counter("pmlmpi_batch_requests_total",
+			"SelectBatch calls."),
+		batchSize: reg.Histogram("pmlmpi_batch_size_items",
+			"Items per SelectBatch call.", batchSizeBuckets),
 	}
 
 	reg.Gauge("pmlmpi_bundle_loaded", "1 when a model bundle is loaded.").Set(1)
@@ -104,9 +159,81 @@ func (s *Selector) AlgorithmName(collective string, class int) string {
 }
 
 // Select predicts the best algorithm for the collective given the named
-// feature map. It is the hot path: one span per stage, one histogram
-// observation, one counter increment, and a ring-buffer append.
+// feature map. With a cache configured, a quantized-feature hit is the hot
+// path: extraction, one sharded-map lookup, counters, and a ring append —
+// no tracing spans, no logging, no forest walk. Misses (and all calls when
+// no cache is configured) take the fully traced path: one span per stage,
+// a histogram observation, and a structured log record.
 func (s *Selector) Select(ctx context.Context, collective string, features map[string]float64) (*Decision, error) {
+	if s.cache == nil {
+		return s.selectTraced(ctx, collective, features, nil)
+	}
+	start := time.Now()
+	c, ok := s.b.Collective(collective)
+	if !ok {
+		s.selErrors.Inc(collective, "unknown_collective")
+		return nil, fmt.Errorf("unknown collective %q (bundle has %v)", collective, s.b.CollectiveNames())
+	}
+	// Stack buffer for the feature vector: no allocation on the hit path.
+	// Feature subsets never exceed the canonical space (currently 14
+	// features), but fall back to the heap if that ever grows past 16.
+	var xbuf [16]float64
+	var x []float64
+	if n := len(c.FeatureNames); n <= len(xbuf) {
+		x = xbuf[:n]
+	} else {
+		x = make([]float64, n)
+	}
+	if err := c.VectorInto(x, features); err != nil {
+		s.selErrors.Inc(collective, "missing_feature")
+		return nil, err
+	}
+	key := featureKey(collective, x, s.quantum)
+	if v, ok := s.cache.Get(key); ok {
+		e := v.(cachedEntry)
+		reqID := obs.RequestIDFrom(ctx)
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		elapsed := time.Since(start)
+		// Per-request envelope around the shared cached payload; the
+		// Features/Probs/Votes slices are shared and read-only.
+		d := e.d
+		d.Time = start
+		d.RequestID = reqID
+		d.LatencyNS = elapsed.Nanoseconds()
+		d.Cached = true
+		e.sel.Inc()
+		e.lat.Observe(elapsed.Seconds())
+		s.ring.add(d)
+		return &d, nil
+	}
+	d, err := s.selectTraced(ctx, collective, features, x)
+	if err != nil {
+		return nil, err
+	}
+	// Bind the metric series once at insert so hits touch neither the
+	// label-join path nor the series map.
+	s.cache.Put(key, cachedEntry{
+		d:   *d,
+		sel: s.selections.Bind(collective, d.Algorithm),
+		lat: s.latency.Bind(collective),
+	})
+	return d, nil
+}
+
+// cachedEntry is the decision-cache payload: the memoized decision plus
+// its pre-resolved metric series.
+type cachedEntry struct {
+	d   Decision
+	sel obs.BoundCounter
+	lat obs.BoundHistogram
+}
+
+// selectTraced is the fully instrumented selection path. A non-nil x is a
+// pre-extracted feature vector (cache-miss path), in which case the
+// feature.extract span is skipped — the work already happened unspanned.
+func (s *Selector) selectTraced(ctx context.Context, collective string, features map[string]float64, x []float64) (*Decision, error) {
 	ctx, reqID := obs.WithRequestID(ctx, obs.RequestIDFrom(ctx))
 	ctx, decide := s.o.Tracer.Start(ctx, "selector.decide")
 	decide.SetAttr("collective", collective)
@@ -119,17 +246,21 @@ func (s *Selector) Select(ctx context.Context, collective string, features map[s
 		return nil, fmt.Errorf("unknown collective %q (bundle has %v)", collective, s.b.CollectiveNames())
 	}
 
-	_, extract := s.o.Tracer.Start(ctx, "feature.extract")
-	x, err := c.Vector(features)
-	extract.End()
-	if err != nil {
-		decide.End()
-		s.selErrors.Inc(collective, "missing_feature")
-		return nil, err
+	if x == nil {
+		var extract *obs.Span
+		var err error
+		_, extract = s.o.Tracer.Start(ctx, "feature.extract")
+		x, err = c.Vector(features)
+		extract.End()
+		if err != nil {
+			decide.End()
+			s.selErrors.Inc(collective, "missing_feature")
+			return nil, err
+		}
 	}
 
 	_, eval := s.o.Tracer.Start(ctx, "forest.eval")
-	pred, err := c.Forest.Predict(x)
+	pred, err := s.predict(c, x)
 	eval.End()
 	if err != nil {
 		decide.End()
@@ -164,6 +295,24 @@ func (s *Selector) Select(ctx context.Context, collective string, features map[s
 		"class", pred.Class,
 		"latency_us", float64(elapsed.Microseconds()))
 	return &d, nil
+}
+
+// predict runs the forest, fanning tree evaluation out across goroutines
+// when the ensemble is large enough for that to pay off.
+func (s *Selector) predict(c *bundle.Collective, x []float64) (forest.Prediction, error) {
+	if s.parallelTrees > 0 && len(c.Forest.Trees) >= s.parallelTrees {
+		return c.Forest.PredictWith(x, s.treeWorkers)
+	}
+	return c.Forest.Predict(x)
+}
+
+// CacheStats snapshots the decision cache's counters; ok is false when no
+// cache is configured.
+func (s *Selector) CacheStats() (st cache.Stats, ok bool) {
+	if s.cache == nil {
+		return cache.Stats{}, false
+	}
+	return s.cache.Stats(), true
 }
 
 func copyFeatures(m map[string]float64) map[string]float64 {

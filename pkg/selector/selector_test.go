@@ -143,20 +143,3 @@ func TestDecisionFeaturesAreCopied(t *testing.T) {
 		t.Error("decision shares the caller's feature map instead of copying it")
 	}
 }
-
-func BenchmarkSelect(b *testing.B) {
-	bd, err := bundle.Load(realBundle)
-	if err != nil {
-		b.Fatalf("Load: %v", err)
-	}
-	o := obs.NewForTest()
-	o.Logger.SetLevel(obs.LevelError) // mute per-selection logs in the hot loop
-	s := New(bd, o, Config{})
-	ctx := context.Background()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := s.Select(ctx, "allgather", allgatherFeatures); err != nil {
-			b.Fatal(err)
-		}
-	}
-}

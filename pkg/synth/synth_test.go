@@ -1,0 +1,112 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+)
+
+func TestJSONIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Trees: 8, Depth: 4}
+	a, err := JSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same config produced different bundle bytes")
+	}
+	c, err := JSON(Config{Seed: 8, Trees: 8, Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical bundle bytes")
+	}
+}
+
+func TestNewRoundTripsThroughBundleParse(t *testing.T) {
+	b, err := New(Config{Seed: 1, Collectives: []string{"allgather", "alltoall", "bcast"}, Trees: 12, Depth: 5, Features: 6, Classes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Collectives); got != 3 {
+		t.Fatalf("bundle has %d collectives, want 3", got)
+	}
+	for name, c := range b.Collectives {
+		if len(c.Forest.Trees) != 12 {
+			t.Errorf("%s: %d trees, want 12", name, len(c.Forest.Trees))
+		}
+		if c.Forest.NClasses != 3 {
+			t.Errorf("%s: %d classes, want 3", name, c.Forest.NClasses)
+		}
+		if len(c.FeatureNames) != 6 {
+			t.Errorf("%s: %d features, want 6", name, len(c.FeatureNames))
+		}
+		// Parse already validated canonical-name agreement; spot-check one.
+		if c.FeatureNames[0] != bundle.CanonicalFeatures[c.Features[0]] {
+			t.Errorf("%s: feature name/index disagree", name)
+		}
+	}
+	if len(b.TrainedOn) != 3 {
+		t.Errorf("trained_on has %d systems, want default 3", len(b.TrainedOn))
+	}
+}
+
+func TestFeaturesClampedToCanonicalSpace(t *testing.T) {
+	b, err := New(Config{Seed: 2, Features: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range b.Collectives {
+		if len(c.FeatureNames) != len(bundle.CanonicalFeatures) {
+			t.Errorf("feature count %d, want clamp to %d", len(c.FeatureNames), len(bundle.CanonicalFeatures))
+		}
+	}
+}
+
+func TestReservedCollectiveNameRejected(t *testing.T) {
+	if _, err := JSON(Config{Collectives: []string{"version"}}); err == nil {
+		t.Error("collective named \"version\" should be rejected")
+	}
+}
+
+func TestPointsAreDeterministicDistinctAndComplete(t *testing.T) {
+	a := Points(42, 16)
+	b := Points(42, 16)
+	for i := range a {
+		if len(a[i]) != len(bundle.CanonicalFeatures) {
+			t.Fatalf("point %d covers %d features, want all %d", i, len(a[i]), len(bundle.CanonicalFeatures))
+		}
+		for k, v := range a[i] {
+			if b[i][k] != v {
+				t.Fatalf("point %d key %s differs across runs", i, k)
+			}
+		}
+	}
+	if a[0]["ppn"] == a[1]["ppn"] {
+		t.Error("distinct points should have distinct values")
+	}
+}
+
+func TestSyntheticPredictionsWork(t *testing.T) {
+	b := MustNew(Config{Seed: 3})
+	pt := Points(3, 1)[0]
+	for name, c := range b.Collectives {
+		x, err := c.Vector(pt)
+		if err != nil {
+			t.Fatalf("%s: Vector: %v", name, err)
+		}
+		pred, err := c.Forest.Predict(x)
+		if err != nil {
+			t.Fatalf("%s: Predict: %v", name, err)
+		}
+		if pred.Class < 0 || pred.Class >= c.Forest.NClasses {
+			t.Errorf("%s: class %d out of range", name, pred.Class)
+		}
+	}
+}
