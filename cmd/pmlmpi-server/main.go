@@ -1,6 +1,7 @@
 // Command pmlmpi-server runs the PML-MPI algorithm-selection service: it
 // loads the pre-trained model bundle and serves selections plus the full
-// observability surface (/metrics, /healthz, /debug/decisions, /v1/select).
+// observability surface (/metrics, /healthz, /debug/decisions,
+// /debug/traces, /debug/analytics, optional /debug/pprof, /v1/select).
 package main
 
 import (
@@ -31,6 +32,11 @@ type options struct {
 	cacheTTL      time.Duration
 	batchWorkers  int
 	parallelTrees int
+
+	traceSampleRate float64
+	traceCapacity   int
+	pprof           bool
+	runtimeInterval time.Duration
 }
 
 func main() {
@@ -46,6 +52,11 @@ func main() {
 
 		batchWorkers  = flag.Int("batch-workers", 0, "worker-pool size for /v1/select/batch (0 = GOMAXPROCS)")
 		parallelTrees = flag.Int("parallel-trees", 0, "evaluate forests with at least this many trees concurrently (0 disables)")
+
+		traceSampleRate = flag.Float64("trace-sample-rate", 0.01, "head-based trace sampling fraction in [0,1] (0 disables tracing)")
+		traceCapacity   = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "sampled traces retained for /debug/traces")
+		pprofFlag       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		runtimeInterval = flag.Duration("runtime-metrics-interval", 10*time.Second, "period of the Go runtime stats collector (0 disables)")
 	)
 	flag.Parse()
 
@@ -59,6 +70,11 @@ func main() {
 		cacheTTL:      *cacheTTL,
 		batchWorkers:  *batchWorkers,
 		parallelTrees: *parallelTrees,
+
+		traceSampleRate: *traceSampleRate,
+		traceCapacity:   *traceCapacity,
+		pprof:           *pprofFlag,
+		runtimeInterval: *runtimeInterval,
 	})
 	if err != nil {
 		o.Logger.Error("fatal", "error", err.Error())
@@ -73,6 +89,16 @@ func run(o *obs.Obs, opts options) error {
 	b, err := bundle.LoadObserved(ctx, o, opts.bundlePath)
 	if err != nil {
 		return fmt.Errorf("load bundle: %w", err)
+	}
+
+	o.Traces.SetCapacity(opts.traceCapacity)
+	o.Traces.SetSampleRate(opts.traceSampleRate)
+	if opts.traceSampleRate > 0 {
+		o.Logger.Info("trace sampling enabled",
+			"rate", opts.traceSampleRate, "capacity", opts.traceCapacity)
+	}
+	if opts.runtimeInterval > 0 {
+		go obs.NewRuntimeCollector(o.Registry).Run(ctx, opts.runtimeInterval)
 	}
 
 	var decisionCache *cache.Cache
@@ -96,7 +122,7 @@ func run(o *obs.Obs, opts options) error {
 	})
 	srv := &http.Server{
 		Addr:              opts.addr,
-		Handler:           admin.New(sel, o),
+		Handler:           admin.New(sel, o, admin.Config{Pprof: opts.pprof}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -1,20 +1,30 @@
 // Package admin serves the HTTP operational surface of the PML-MPI
-// selector: Prometheus metrics, health/readiness, a ring buffer of recent
-// decisions, and a JSON selection endpoint. Every request is itself
-// instrumented (request counter + duration histogram + access log), so the
-// admin surface dogfoods the obs package it exposes.
+// selector: Prometheus metrics, health/readiness, ring buffers of recent
+// decisions and sampled traces, decision analytics, optional pprof, and a
+// JSON selection endpoint. Every request is itself instrumented (request
+// counter + duration histogram + access log), so the admin surface dogfoods
+// the obs package it exposes.
 package admin
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
 )
+
+// Config tunes optional parts of the admin surface.
+type Config struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default: the
+	// profile endpoints can stall the process (CPU profiles block for their
+	// duration) and belong behind an operator's explicit flag.
+	Pprof bool
+}
 
 // Server is the admin HTTP handler.
 type Server struct {
@@ -28,7 +38,7 @@ type Server struct {
 }
 
 // New builds the admin surface for a selector.
-func New(sel *selector.Selector, o *obs.Obs) *Server {
+func New(sel *selector.Selector, o *obs.Obs, cfg Config) *Server {
 	s := &Server{
 		sel:     sel,
 		o:       o,
@@ -42,8 +52,20 @@ func New(sel *selector.Selector, o *obs.Obs) *Server {
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/debug/decisions", s.instrument("/debug/decisions", s.handleDecisions))
+	s.mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleTraces))
+	s.mux.HandleFunc("/debug/analytics", s.instrument("/debug/analytics", s.handleAnalytics))
 	s.mux.HandleFunc("/v1/select", s.instrument("/v1/select", s.handleSelect))
 	s.mux.HandleFunc("/v1/select/batch", s.instrument("/v1/select/batch", s.handleSelectBatch))
+	if cfg.Pprof {
+		// Mounted bare, without the instrument wrapper: statusRecorder does
+		// not forward http.Flusher, which the streaming profile endpoints
+		// need, and profiling traffic would skew the latency histogram.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -123,20 +145,75 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
-func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
-	n := 0
-	if q := r.URL.Query().Get("n"); q != "" {
+// queryLimit parses a non-negative integer query parameter, trying names in
+// order ("limit" first, then legacy aliases). Returns -1 after writing a 400
+// if the value is malformed; 0 means "no limit".
+func queryLimit(w http.ResponseWriter, r *http.Request, names ...string) int {
+	for _, name := range names {
+		q := r.URL.Query().Get(name)
+		if q == "" {
+			continue
+		}
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad n=%q: want a non-negative integer", q))
-			return
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad %s=%q: want a non-negative integer", name, q))
+			return -1
 		}
-		n = v
+		return v
 	}
-	decisions := s.sel.Recent(n)
-	writeJSON(w, http.StatusOK, map[string]any{
+	return 0
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	n := queryLimit(w, r, "limit", "n") // "n" is the legacy spelling
+	if n < 0 {
+		return
+	}
+	collective := r.URL.Query().Get("collective")
+	decisions := s.sel.RecentFiltered(n, collective)
+	resp := map[string]any{
 		"count":     len(decisions),
 		"decisions": decisions,
+	}
+	if collective != "" {
+		resp["collective"] = collective
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTraces serves the sampled-trace ring: without ?id= it lists trace
+// summaries newest first (?limit= bounds the list); with ?id= it returns
+// the one complete span tree, or a 404 JSON error if it has been evicted.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		tr, ok := s.o.Traces.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no retained trace %q (evicted or never sampled)", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, tr)
+		return
+	}
+	limit := queryLimit(w, r, "limit")
+	if limit < 0 {
+		return
+	}
+	traces := s.o.Traces.List(limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sample_rate": s.o.Traces.SampleRate(),
+		"count":       len(traces),
+		"traces":      traces,
+	})
+}
+
+// handleAnalytics serves the decision-analytics aggregate: per
+// collective × algorithm counts, cache-hit share, and latency quantiles.
+func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
+	rows := s.sel.Analytics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": len(rows),
+		"rows":  rows,
 	})
 }
 

@@ -33,7 +33,7 @@ func newTestServer(t *testing.T) (*Server, *selector.Selector, *obs.Obs) {
 	}
 	o := obs.NewForTest()
 	sel := selector.New(b, o, selector.Config{RingSize: 8})
-	return New(sel, o), sel, o
+	return New(sel, o, Config{}), sel, o
 }
 
 func get(t *testing.T, srv http.Handler, path string) *httptest.ResponseRecorder {
@@ -72,7 +72,8 @@ func TestMetricsEndpointIncludesEveryRegisteredInstrument(t *testing.T) {
 	// The acceptance-criteria instruments, with live series.
 	for _, want := range []string{
 		`pmlmpi_selections_total{collective="alltoall",algorithm="pairwise"} 1`,
-		`pmlmpi_prediction_latency_seconds_count{collective="alltoall"} 1`,
+		`pmlmpi_select_duration_seconds_count{collective="alltoall",path="cold"} 1`,
+		`pmlmpi_forest_predict_duration_seconds_count{collective="alltoall"} 1`,
 		"pmlmpi_bundle_loaded 1",
 		`pmlmpi_bundle_forest_trees{collective="allgather"} 60`,
 		`pmlmpi_bundle_forest_trees{collective="alltoall"} 100`,
@@ -338,7 +339,7 @@ func TestMetricsExposeCacheAndBatchInstruments(t *testing.T) {
 	sel := selector.New(b, o, selector.Config{
 		Cache: cache.New(cache.Config{MaxEntries: 1024}, o.Registry),
 	})
-	srv := New(sel, o)
+	srv := New(sel, o, Config{})
 
 	item := `{"collective":"alltoall","features":{"log2_msg_size":22,"ppn":48,"num_nodes":32,"mem_bw_gbs":204.8,"thread_count":96}}`
 	post(t, srv, "/v1/select", item)                             // miss
@@ -376,5 +377,244 @@ func TestRequestIDPropagation(t *testing.T) {
 	recent := sel.Recent(1)
 	if len(recent) != 1 || recent[0].RequestID != "caller-supplied-id" {
 		t.Errorf("decision request ID = %+v, want caller-supplied-id", recent)
+	}
+}
+
+var allgatherFeatures = map[string]float64{
+	"log2_msg_size": 20,
+	"ppn":           32,
+	"num_nodes":     64,
+	"thread_count":  128,
+	"l3_cache_mib":  24,
+}
+
+func TestDebugDecisionsFilters(t *testing.T) {
+	srv, sel, _ := newTestServer(t)
+	ctx := context.Background()
+	// Three alltoall then two allgather selections, so newest-first order
+	// and the per-collective filter are both observable.
+	for i := 0; i < 3; i++ {
+		if _, err := sel.Select(ctx, "alltoall", alltoallFeatures); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sel.Select(ctx, "allgather", allgatherFeatures); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tests := []struct {
+		name           string
+		query          string
+		wantCode       int
+		wantCount      int
+		wantCollective string // "" = mixed
+	}{
+		{name: "no filters", query: "", wantCode: http.StatusOK, wantCount: 5},
+		{name: "limit", query: "?limit=2", wantCode: http.StatusOK, wantCount: 2, wantCollective: "allgather"},
+		{name: "legacy n alias", query: "?n=2", wantCode: http.StatusOK, wantCount: 2, wantCollective: "allgather"},
+		{name: "collective filter", query: "?collective=alltoall", wantCode: http.StatusOK, wantCount: 3, wantCollective: "alltoall"},
+		{name: "collective plus limit", query: "?collective=alltoall&limit=1", wantCode: http.StatusOK, wantCount: 1, wantCollective: "alltoall"},
+		{name: "unknown collective empty", query: "?collective=broadcast", wantCode: http.StatusOK, wantCount: 0},
+		{name: "bad limit", query: "?limit=-1", wantCode: http.StatusBadRequest},
+		{name: "malformed limit", query: "?limit=lots", wantCode: http.StatusBadRequest},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := get(t, srv, "/debug/decisions"+tc.query)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("status = %d, want %d: %s", rec.Code, tc.wantCode, rec.Body.String())
+			}
+			if tc.wantCode != http.StatusOK {
+				return
+			}
+			var resp struct {
+				Count     int                 `json:"count"`
+				Decisions []selector.Decision `json:"decisions"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("not JSON: %v", err)
+			}
+			if resp.Count != tc.wantCount || len(resp.Decisions) != tc.wantCount {
+				t.Fatalf("count = %d (decisions %d), want %d", resp.Count, len(resp.Decisions), tc.wantCount)
+			}
+			if tc.wantCollective != "" {
+				for i, d := range resp.Decisions {
+					if d.Collective != tc.wantCollective {
+						t.Errorf("decisions[%d].collective = %q, want %q", i, d.Collective, tc.wantCollective)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDebugTracesServesCompleteSpanTree(t *testing.T) {
+	srv, _, o := newTestServer(t)
+	o.Traces.SetSampleRate(1)
+
+	body := `{"collective": "alltoall", "features": {"log2_msg_size": 22, "ppn": 48, "num_nodes": 32, "mem_bw_gbs": 204.8, "thread_count": 96}}`
+	if rec := post(t, srv, "/v1/select", body); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/select status = %d", rec.Code)
+	}
+
+	rec := get(t, srv, "/debug/traces")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces status = %d", rec.Code)
+	}
+	var list struct {
+		SampleRate float64            `json:"sample_rate"`
+		Count      int                `json:"count"`
+		Traces     []obs.TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list not JSON: %v", err)
+	}
+	if list.SampleRate != 1 {
+		t.Errorf("sample_rate = %v, want 1", list.SampleRate)
+	}
+	if list.Count != 1 || len(list.Traces) != 1 {
+		t.Fatalf("count = %d, want exactly the one sampled trace", list.Count)
+	}
+	sum := list.Traces[0]
+	if sum.Root != "selector.decide" || sum.Spans < 3 {
+		t.Fatalf("summary = %+v, want root selector.decide with >= 3 spans", sum)
+	}
+
+	// Fetch the full tree and check its shape: feature.extract and
+	// forest.eval must both be children of the selector.decide root.
+	rec = get(t, srv, "/debug/traces?id="+sum.TraceID)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fetch status = %d", rec.Code)
+	}
+	var tr obs.Trace
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	spans := map[string]obs.SpanRecord{}
+	for _, sp := range tr.Spans {
+		spans[sp.Name] = sp
+	}
+	root, ok := spans["selector.decide"]
+	if !ok || root.ParentID != "" {
+		t.Fatalf("missing parentless selector.decide root in %+v", tr.Spans)
+	}
+	for _, child := range []string{"feature.extract", "forest.eval"} {
+		sp, ok := spans[child]
+		if !ok {
+			t.Errorf("span tree missing %q", child)
+			continue
+		}
+		if sp.ParentID != root.SpanID {
+			t.Errorf("%s parent = %q, want root %q", child, sp.ParentID, root.SpanID)
+		}
+	}
+
+	// Error paths: unknown ID is a JSON 404, bad limit a 400.
+	if rec := get(t, srv, "/debug/traces?id=tr-nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown id should be 404, got %d", rec.Code)
+	}
+	if rec := get(t, srv, "/debug/traces?limit=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad limit should be 400, got %d", rec.Code)
+	}
+}
+
+func TestDebugTracesLimit(t *testing.T) {
+	srv, sel, o := newTestServer(t)
+	o.Traces.SetSampleRate(1)
+	for i := 0; i < 4; i++ {
+		if _, err := sel.Select(context.Background(), "alltoall", alltoallFeatures); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := get(t, srv, "/debug/traces?limit=2")
+	var list struct {
+		Count  int                `json:"count"`
+		Traces []obs.TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 2 {
+		t.Errorf("limit=2 returned %d traces", list.Count)
+	}
+}
+
+func TestDebugAnalytics(t *testing.T) {
+	b, err := bundle.Load(realBundle)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	o := obs.NewForTest()
+	sel := selector.New(b, o, selector.Config{
+		Cache: cache.New(cache.Config{MaxEntries: 1024}, o.Registry),
+	})
+	srv := New(sel, o, Config{})
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // one cold + two cache hits
+		if _, err := sel.Select(ctx, "alltoall", alltoallFeatures); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sel.Select(ctx, "allgather", allgatherFeatures); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := get(t, srv, "/debug/analytics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/analytics status = %d", rec.Code)
+	}
+	var resp struct {
+		Count int `json:"count"`
+		Rows  []struct {
+			Collective string  `json:"collective"`
+			Algorithm  string  `json:"algorithm"`
+			Count      uint64  `json:"count"`
+			CacheHits  uint64  `json:"cache_hits"`
+			Share      float64 `json:"share"`
+			P99US      float64 `json:"p99_us"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("analytics not JSON: %v", err)
+	}
+	if resp.Count != 2 || len(resp.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (one per collective): %s", resp.Count, rec.Body.String())
+	}
+	// Sorted by collective: allgather first.
+	ag, at := resp.Rows[0], resp.Rows[1]
+	if ag.Collective != "allgather" || ag.Algorithm != "bruck" || ag.Count != 1 || ag.Share != 1 {
+		t.Errorf("allgather row = %+v", ag)
+	}
+	if at.Collective != "alltoall" || at.Algorithm != "pairwise" || at.Count != 3 || at.CacheHits != 2 {
+		t.Errorf("alltoall row = %+v", at)
+	}
+	if at.P99US <= 0 {
+		t.Errorf("alltoall p99 = %v, want > 0", at.P99US)
+	}
+}
+
+func TestPprofGatedByConfig(t *testing.T) {
+	b, err := bundle.Load(realBundle)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	o := obs.NewForTest()
+	sel := selector.New(b, o, selector.Config{})
+
+	off := New(sel, o, Config{})
+	if rec := get(t, off, "/debug/pprof/"); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof off: /debug/pprof/ = %d, want 404", rec.Code)
+	}
+
+	on := New(sel, obs.NewForTest(), Config{Pprof: true})
+	if rec := get(t, on, "/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Errorf("pprof on: /debug/pprof/ = %d, want 200", rec.Code)
+	}
+	rec := get(t, on, "/debug/pprof/cmdline")
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Errorf("pprof on: /debug/pprof/cmdline = %d with %d bytes", rec.Code, rec.Body.Len())
 	}
 }

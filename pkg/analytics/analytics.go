@@ -1,0 +1,221 @@
+// Package analytics rolls selection outcomes up into per-collective ×
+// per-algorithm aggregates: counts, cache-hit share, and latency summary
+// statistics with bucket-interpolated quantiles. It answers the operator
+// question the raw metrics and the decision ring cannot — "which algorithms
+// is the model actually picking, how often, and how fast" — and backs the
+// /debug/analytics endpoint. The package is dependency-free; the selector
+// feeds it and pkg/admin serves it.
+package analytics
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// defaultBuckets are exponential latency bounds in seconds, 1µs..~8.4s
+// (factor 2, 24 bounds). Fine enough near the microsecond regime the
+// selector lives in for meaningful p50/p90/p99 interpolation.
+var defaultBuckets = func() []float64 {
+	out := make([]float64, 24)
+	ub := 1e-6
+	for i := range out {
+		out[i] = ub
+		ub *= 2
+	}
+	return out
+}()
+
+// Aggregator accumulates selection outcomes. Cells (one per collective ×
+// algorithm pair) carry their own locks, so two algorithms never contend;
+// hot paths can pre-resolve their Cell once and skip the map lookup.
+type Aggregator struct {
+	buckets []float64
+
+	mu    sync.RWMutex
+	cells map[cellKey]*Cell
+}
+
+type cellKey struct{ collective, algorithm string }
+
+// Cell is the aggregate for one collective × algorithm pair. Acquire it via
+// Aggregator.Cell and feed it with Record.
+type Cell struct {
+	buckets []float64 // shared, read-only
+
+	mu        sync.Mutex
+	count     uint64
+	cacheHits uint64
+	sum       float64
+	min       float64
+	max       float64
+	counts    []uint64 // per-bucket observation counts; last slot is +Inf
+}
+
+// New builds an aggregator using the given latency bucket bounds (seconds,
+// strictly ascending); nil selects the default exponential 1µs..8s layout.
+func New(buckets []float64) *Aggregator {
+	if buckets == nil {
+		buckets = defaultBuckets
+	}
+	return &Aggregator{
+		buckets: buckets,
+		cells:   make(map[cellKey]*Cell),
+	}
+}
+
+// Cell returns (creating if needed) the aggregate cell for one collective ×
+// algorithm pair, for callers that record into the same pair repeatedly.
+func (a *Aggregator) Cell(collective, algorithm string) *Cell {
+	key := cellKey{collective, algorithm}
+	a.mu.RLock()
+	c, ok := a.cells[key]
+	a.mu.RUnlock()
+	if ok {
+		return c
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if c, ok = a.cells[key]; ok {
+		return c
+	}
+	c = &Cell{
+		buckets: a.buckets,
+		min:     math.Inf(1),
+		counts:  make([]uint64, len(a.buckets)+1),
+	}
+	a.cells[key] = c
+	return c
+}
+
+// Record adds one selection outcome with the given end-to-end latency.
+func (a *Aggregator) Record(collective, algorithm string, seconds float64, cached bool) {
+	a.Cell(collective, algorithm).Record(seconds, cached)
+}
+
+// Record adds one selection outcome to the cell.
+func (c *Cell) Record(seconds float64, cached bool) {
+	idx := sort.SearchFloat64s(c.buckets, seconds)
+	c.mu.Lock()
+	c.count++
+	if cached {
+		c.cacheHits++
+	}
+	c.sum += seconds
+	if seconds < c.min {
+		c.min = seconds
+	}
+	if seconds > c.max {
+		c.max = seconds
+	}
+	c.counts[idx]++
+	c.mu.Unlock()
+}
+
+// Row is one collective × algorithm aggregate, as served on
+// /debug/analytics. Latencies are reported in microseconds — the selector's
+// natural regime. Quantiles are estimated by linear interpolation within
+// the exponential latency buckets, so they carry bucket-resolution error;
+// Min/Max/Mean are exact.
+type Row struct {
+	Collective string  `json:"collective"`
+	Algorithm  string  `json:"algorithm"`
+	Count      uint64  `json:"count"`
+	CacheHits  uint64  `json:"cache_hits"`
+	Share      float64 `json:"share"` // fraction of this collective's selections
+	MeanUS     float64 `json:"mean_us"`
+	MinUS      float64 `json:"min_us"`
+	MaxUS      float64 `json:"max_us"`
+	P50US      float64 `json:"p50_us"`
+	P90US      float64 `json:"p90_us"`
+	P99US      float64 `json:"p99_us"`
+}
+
+// Snapshot returns every populated cell as a Row, sorted by collective then
+// descending count (the dominant algorithm first) then algorithm name.
+func (a *Aggregator) Snapshot() []Row {
+	a.mu.RLock()
+	keys := make([]cellKey, 0, len(a.cells))
+	cells := make([]*Cell, 0, len(a.cells))
+	for k, c := range a.cells {
+		keys = append(keys, k)
+		cells = append(cells, c)
+	}
+	a.mu.RUnlock()
+
+	perCollective := make(map[string]uint64)
+	rows := make([]Row, 0, len(cells))
+	for i, c := range cells {
+		c.mu.Lock()
+		if c.count == 0 {
+			c.mu.Unlock()
+			continue
+		}
+		row := Row{
+			Collective: keys[i].collective,
+			Algorithm:  keys[i].algorithm,
+			Count:      c.count,
+			CacheHits:  c.cacheHits,
+			MeanUS:     c.sum / float64(c.count) * 1e6,
+			MinUS:      c.min * 1e6,
+			MaxUS:      c.max * 1e6,
+			P50US:      c.quantileLocked(0.50) * 1e6,
+			P90US:      c.quantileLocked(0.90) * 1e6,
+			P99US:      c.quantileLocked(0.99) * 1e6,
+		}
+		c.mu.Unlock()
+		perCollective[row.Collective] += row.Count
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		rows[i].Share = float64(rows[i].Count) / float64(perCollective[rows[i].Collective])
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Collective != rows[j].Collective {
+			return rows[i].Collective < rows[j].Collective
+		}
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Algorithm < rows[j].Algorithm
+	})
+	return rows
+}
+
+// quantileLocked estimates the q-quantile (0 < q < 1) from the bucket
+// counts, Prometheus histogram_quantile style: find the bucket holding the
+// target rank and interpolate linearly between its bounds. Observations in
+// the +Inf bucket clamp to the exact max. Callers hold c.mu.
+func (c *Cell) quantileLocked(q float64) float64 {
+	rank := q * float64(c.count)
+	cum := uint64(0)
+	for i, n := range c.counts {
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(c.buckets) {
+			return c.max // +Inf bucket: best available estimate
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = c.buckets[i-1]
+		}
+		upper := c.buckets[i]
+		if n == 0 {
+			return upper
+		}
+		frac := (rank - float64(cum-n)) / float64(n)
+		est := lower + (upper-lower)*frac
+		// Clamp to the observed range: interpolation cannot know the true
+		// extremes within a bucket, but the cell does.
+		if est < c.min {
+			est = c.min
+		}
+		if est > c.max {
+			est = c.max
+		}
+		return est
+	}
+	return c.max
+}

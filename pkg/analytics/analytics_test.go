@@ -1,0 +1,129 @@
+package analytics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndSnapshotBasics(t *testing.T) {
+	a := New(nil)
+	a.Record("alltoall", "pairwise", 10e-6, false)
+	a.Record("alltoall", "pairwise", 20e-6, true)
+	a.Record("alltoall", "linear", 5e-6, false)
+	a.Record("allgather", "ring", 1e-6, false)
+
+	rows := a.Snapshot()
+	if len(rows) != 3 {
+		t.Fatalf("snapshot has %d rows, want 3: %+v", len(rows), rows)
+	}
+	// Sorted: allgather first, then alltoall by descending count.
+	if rows[0].Collective != "allgather" || rows[1].Algorithm != "pairwise" || rows[2].Algorithm != "linear" {
+		t.Errorf("row order = %+v", rows)
+	}
+
+	pw := rows[1]
+	if pw.Count != 2 || pw.CacheHits != 1 {
+		t.Errorf("pairwise count/hits = %d/%d, want 2/1", pw.Count, pw.CacheHits)
+	}
+	if math.Abs(pw.MeanUS-15) > 1e-9 {
+		t.Errorf("pairwise mean = %v µs, want 15", pw.MeanUS)
+	}
+	if math.Abs(pw.MinUS-10) > 1e-9 || math.Abs(pw.MaxUS-20) > 1e-9 {
+		t.Errorf("pairwise min/max = %v/%v µs, want 10/20", pw.MinUS, pw.MaxUS)
+	}
+	if math.Abs(pw.Share-2.0/3.0) > 1e-9 {
+		t.Errorf("pairwise share = %v, want 2/3", pw.Share)
+	}
+	if math.Abs(rows[2].Share-1.0/3.0) > 1e-9 {
+		t.Errorf("linear share = %v, want 1/3", rows[2].Share)
+	}
+	if rows[0].Share != 1 {
+		t.Errorf("allgather ring share = %v, want 1", rows[0].Share)
+	}
+}
+
+func TestQuantileEstimation(t *testing.T) {
+	// Custom coarse buckets make interpolation arithmetic predictable.
+	a := New([]float64{1, 2, 4, 8})
+	c := a.Cell("c", "a")
+	// 100 observations uniformly placed in (2,4]: all land in that bucket.
+	for i := 0; i < 100; i++ {
+		c.Record(2+2*float64(i+1)/100, false)
+	}
+	rows := a.Snapshot()
+	r := rows[0]
+	// p50 interpolates to the middle of bucket (2,4] → ~3s = 3e6 µs.
+	if math.Abs(r.P50US-3e6) > 0.25e6 {
+		t.Errorf("p50 = %v µs, want ≈3e6", r.P50US)
+	}
+	if r.P99US < r.P50US || r.P99US > r.MaxUS {
+		t.Errorf("p99 = %v µs outside [p50=%v, max=%v]", r.P99US, r.P50US, r.MaxUS)
+	}
+	// Quantiles clamp to observed extremes.
+	if r.P50US < r.MinUS {
+		t.Errorf("p50 %v below min %v", r.P50US, r.MinUS)
+	}
+}
+
+func TestQuantileBeyondLastBucketClampsToMax(t *testing.T) {
+	a := New([]float64{1e-6})
+	c := a.Cell("c", "a")
+	c.Record(5, false) // way past the only bound → +Inf bucket
+	c.Record(7, false)
+	r := a.Snapshot()[0]
+	if r.P99US != r.MaxUS || r.MaxUS != 7e6 {
+		t.Errorf("p99/max = %v/%v µs, want both 7e6", r.P99US, r.MaxUS)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	if rows := New(nil).Snapshot(); len(rows) != 0 {
+		t.Errorf("empty aggregator produced rows: %+v", rows)
+	}
+	// A cell created but never recorded into must not surface.
+	a := New(nil)
+	a.Cell("c", "a")
+	if rows := a.Snapshot(); len(rows) != 0 {
+		t.Errorf("unrecorded cell produced rows: %+v", rows)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	a := New(nil)
+	cell := a.Cell("c", "hot")
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if g%2 == 0 {
+					cell.Record(1e-6*float64(i%100+1), i%2 == 0)
+				} else {
+					a.Record("c", "hot", 1e-6*float64(i%100+1), false)
+				}
+			}
+		}(g)
+	}
+	// Concurrent snapshots must not race with recorders.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			a.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	r := a.Snapshot()[0]
+	if r.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", r.Count, goroutines*perG)
+	}
+	if r.CacheHits != goroutines/2*perG/2 {
+		t.Errorf("cache hits = %d, want %d", r.CacheHits, goroutines/2*perG/2)
+	}
+}

@@ -69,6 +69,7 @@ type Cache struct {
 	mMisses    *obs.Counter
 	mEvictions *obs.Counter
 	mEntries   *obs.Gauge
+	mLookup    obs.BoundHistogram
 }
 
 type shard struct {
@@ -86,7 +87,8 @@ type entry struct {
 
 // New builds a cache and registers its instruments in reg:
 // pmlmpi_cache_hits_total, pmlmpi_cache_misses_total,
-// pmlmpi_cache_evictions_total{reason}, pmlmpi_cache_entries.
+// pmlmpi_cache_evictions_total{reason}, pmlmpi_cache_entries,
+// pmlmpi_cache_lookup_duration_seconds.
 func New(cfg Config, reg *obs.Registry) *Cache {
 	cfg = cfg.withDefaults()
 	perShard := cfg.MaxEntries / cfg.Shards
@@ -106,6 +108,8 @@ func New(cfg Config, reg *obs.Registry) *Cache {
 			"Decision-cache entries evicted.", "reason"),
 		mEntries: reg.Gauge("pmlmpi_cache_entries",
 			"Live decision-cache entries."),
+		mLookup: reg.Histogram("pmlmpi_cache_lookup_duration_seconds",
+			"Wall time of one decision-cache Get, hit or miss.", obs.LatencyBuckets).Bind(),
 	}
 	for i := range c.shards {
 		c.shards[i].lru = list.New()
@@ -130,8 +134,16 @@ func (c *Cache) shardFor(key string) *shard {
 }
 
 // Get returns the value stored under key, refreshing its LRU position. An
-// expired entry is removed and counted as a TTL eviction plus a miss.
+// expired entry is removed and counted as a TTL eviction plus a miss. Every
+// lookup, hit or miss, feeds the lookup-duration histogram.
 func (c *Cache) Get(key string) (any, bool) {
+	start := time.Now()
+	v, ok := c.get(key)
+	c.mLookup.Observe(time.Since(start).Seconds())
+	return v, ok
+}
+
+func (c *Cache) get(key string) (any, bool) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	el, ok := sh.entries[key]

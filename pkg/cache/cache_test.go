@@ -148,3 +148,17 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("cache holds %d entries, want at most 50 distinct keys", n)
 	}
 }
+
+func TestLookupDurationHistogramCountsEveryGet(t *testing.T) {
+	c, reg := newTestCache(Config{})
+	c.Get("missing")
+	c.Put("k", 1)
+	c.Get("k")
+	c.Get("k")
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if want := "pmlmpi_cache_lookup_duration_seconds_count 3"; !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %q in:\n%s", want, b.String())
+	}
+}

@@ -9,6 +9,7 @@ package forest
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Node is one decision-tree node. Internal nodes route on feature F with
@@ -61,7 +62,18 @@ type Forest struct {
 	NClasses   int       `json:"nclasses"`
 	Importance []float64 `json:"importance,omitempty"`
 	OOB        float64   `json:"oob,omitempty"`
+
+	// onPredict, when set via Instrument, receives the wall time of every
+	// Predict/PredictWith call. Unexported so JSON round-trips ignore it.
+	onPredict func(seconds float64)
 }
+
+// Instrument registers fn to receive the wall-clock seconds of every
+// subsequent Predict/PredictWith call — the hook the selector uses to feed
+// its per-predict latency histogram without this package depending on the
+// metrics layer. Passing nil removes the hook. Not safe to call
+// concurrently with Predict; wire it up before serving traffic.
+func (f *Forest) Instrument(fn func(seconds float64)) { f.onPredict = fn }
 
 // Prediction is the result of evaluating a forest on one feature vector.
 type Prediction struct {
@@ -116,6 +128,9 @@ func (f *Forest) Predict(x []float64) (Prediction, error) {
 	if len(f.Trees) == 0 {
 		return Prediction{}, fmt.Errorf("forest has no trees")
 	}
+	if f.onPredict != nil {
+		defer func(start time.Time) { f.onPredict(time.Since(start).Seconds()) }(time.Now())
+	}
 	acc := make([]float64, f.NClasses)
 	votes := make([]int, f.NClasses)
 	if err := f.accumulate(0, len(f.Trees), x, acc, votes); err != nil {
@@ -137,6 +152,9 @@ func (f *Forest) PredictWith(x []float64, workers int) (Prediction, error) {
 	}
 	if workers <= 1 {
 		return f.Predict(x)
+	}
+	if f.onPredict != nil {
+		defer func(start time.Time) { f.onPredict(time.Since(start).Seconds()) }(time.Now())
 	}
 	type partial struct {
 		acc   []float64

@@ -208,3 +208,53 @@ func TestValidate(t *testing.T) {
 		t.Error("expected error: self-referencing child index")
 	}
 }
+
+func TestInstrumentHookObservesEveryPredict(t *testing.T) {
+	f := &forest.Forest{
+		NClasses: 2,
+		Trees: []forest.Tree{
+			{Nodes: []forest.Node{{F: -1, D: []float64{1, 0}}}},
+			{Nodes: []forest.Node{{F: -1, D: []float64{0, 1}}}},
+			{Nodes: []forest.Node{{F: -1, D: []float64{1, 0}}}},
+			{Nodes: []forest.Node{{F: -1, D: []float64{0, 1}}}},
+		},
+	}
+	var calls int
+	var total float64
+	f.Instrument(func(sec float64) {
+		calls++
+		total += sec
+		if sec < 0 {
+			t.Errorf("negative predict duration %v", sec)
+		}
+	})
+
+	if _, err := f.Predict([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("hook called %d times after Predict, want 1", calls)
+	}
+	// PredictWith's parallel branch must observe exactly once, and its
+	// sequential fallback must not double-observe through Predict.
+	if _, err := f.PredictWith([]float64{1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("hook called %d times after parallel PredictWith, want 2", calls)
+	}
+	if _, err := f.PredictWith([]float64{1}, 1); err != nil { // falls back to Predict
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("hook called %d times after fallback PredictWith, want 3", calls)
+	}
+
+	f.Instrument(nil)
+	if _, err := f.Predict([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("nil hook still observed: %d calls", calls)
+	}
+}

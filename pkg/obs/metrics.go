@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // LatencyBuckets are the fixed histogram buckets (in seconds) used for all
@@ -22,6 +23,43 @@ var LatencyBuckets = []float64{
 	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
 	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
 	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
+}
+
+// ExponentialBuckets returns count bucket upper bounds starting at start and
+// multiplying by factor for each subsequent bound (start, start*factor,
+// start*factor², …). It panics on a non-positive start, a factor <= 1, or a
+// non-positive count, since those can never produce a valid ascending bucket
+// layout.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 {
+		panic(fmt.Sprintf("obs: ExponentialBuckets start must be positive, got %v", start))
+	}
+	if factor <= 1 {
+		panic(fmt.Sprintf("obs: ExponentialBuckets factor must be > 1, got %v", factor))
+	}
+	if count < 1 {
+		panic(fmt.Sprintf("obs: ExponentialBuckets count must be positive, got %d", count))
+	}
+	out := make([]float64, count)
+	ub := start
+	for i := range out {
+		out[i] = ub
+		ub *= factor
+	}
+	return out
+}
+
+// validBuckets reports whether bounds are strictly ascending and finite.
+func validBuckets(bounds []float64) bool {
+	for i, ub := range bounds {
+		if math.IsNaN(ub) || math.IsInf(ub, 0) {
+			return false
+		}
+		if i > 0 && ub <= bounds[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 const (
@@ -56,13 +94,75 @@ type family struct {
 
 type series struct {
 	labelValues []string
-	value       float64   // counters and gauges
-	counts      []uint64  // histogram per-bucket (non-cumulative)
-	sum         float64   // histogram sum
-	count       uint64    // histogram count
+	value       float64    // counters and gauges, guarded by family.mu
+	hist        *histState // histograms only; has its own striped locks
+}
+
+// histStripeCount is the number of independent lock stripes per histogram
+// series. Concurrent observers are spread round-robin across stripes so a
+// hot series never serializes on one mutex; the exposition path merges the
+// stripes under their individual locks. Must be a power of two.
+const histStripeCount = 8
+
+// histState is the lock-striped backing store of one histogram series.
+type histState struct {
+	next    atomic.Uint32
+	stripes [histStripeCount]histStripe
+}
+
+type histStripe struct {
+	mu     sync.Mutex
+	sum    float64
+	count  uint64
+	counts []uint64 // per-bucket, non-cumulative; last slot is +Inf
+	// Pad each stripe to its own cache line so adjacent stripes don't
+	// false-share under concurrent observers.
+	_ [16]byte
+}
+
+func newHistState(nBuckets int) *histState {
+	st := &histState{}
+	for i := range st.stripes {
+		st.stripes[i].counts = make([]uint64, nBuckets+1) // +1 for +Inf
+	}
+	return st
+}
+
+// observe records v into one stripe. The bucket index is resolved outside
+// the lock; only the chosen stripe is held, and only for three field writes.
+func (st *histState) observe(buckets []float64, v float64) {
+	idx := sort.SearchFloat64s(buckets, v) // first bound >= v, i.e. v <= bound
+	s := &st.stripes[st.next.Add(1)&(histStripeCount-1)]
+	s.mu.Lock()
+	s.counts[idx]++
+	s.sum += v
+	s.count++
+	s.mu.Unlock()
+}
+
+// snapshot merges all stripes into one view. Stripes are locked one at a
+// time, so the merged view is not a single atomic cut — fine for
+// monitoring, where per-scrape skew of a few in-flight observations is
+// expected.
+func (st *histState) snapshot(nBuckets int) (counts []uint64, sum float64, count uint64) {
+	counts = make([]uint64, nBuckets+1)
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.Lock()
+		for b, c := range s.counts {
+			counts[b] += c
+		}
+		sum += s.sum
+		count += s.count
+		s.mu.Unlock()
+	}
+	return counts, sum, count
 }
 
 func (r *Registry) register(name, help, typ string, buckets []float64, labelNames []string) *family {
+	if typ == typeHistogram && !validBuckets(buckets) {
+		panic(fmt.Sprintf("obs: metric %q has invalid buckets %v (must be strictly ascending and finite)", name, buckets))
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.families[name]; ok {
@@ -107,7 +207,7 @@ func (f *family) get(labelValues []string) *series {
 	if !ok {
 		s = &series{labelValues: append([]string(nil), labelValues...)}
 		if f.typ == typeHistogram {
-			s.counts = make([]uint64, len(f.buckets)+1) // +1 for +Inf
+			s.hist = newHistState(len(f.buckets))
 		}
 		f.series[key] = s
 	}
@@ -210,22 +310,12 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ..
 
 // Observe records one observation into the series identified by labelValues.
 func (h *Histogram) Observe(v float64, labelValues ...string) {
-	observeSeries(h.f, h.f.get(labelValues), v)
+	h.f.get(labelValues).hist.observe(h.f.buckets, v)
 }
 
-func observeSeries(f *family, s *series, v float64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	idx := len(f.buckets) // +Inf slot
-	for i, ub := range f.buckets {
-		if v <= ub {
-			idx = i
-			break
-		}
-	}
-	s.counts[idx]++
-	s.sum += v
-	s.count++
+// Buckets returns a copy of the family's bucket upper bounds.
+func (h *Histogram) Buckets() []float64 {
+	return append([]float64(nil), h.f.buckets...)
 }
 
 // BoundHistogram is a histogram pinned to one label combination; see
@@ -242,15 +332,19 @@ func (h *Histogram) Bind(labelValues ...string) BoundHistogram {
 
 // Observe records one observation into the bound series.
 func (b BoundHistogram) Observe(v float64) {
-	observeSeries(b.f, b.s, v)
+	b.s.hist.observe(b.f.buckets, v)
 }
 
 // Count returns the total observation count of one series (mainly for tests).
 func (h *Histogram) Count(labelValues ...string) uint64 {
-	s := h.f.get(labelValues)
-	h.f.mu.Lock()
-	defer h.f.mu.Unlock()
-	return s.count
+	_, _, count := h.f.get(labelValues).hist.snapshot(len(h.f.buckets))
+	return count
+}
+
+// Sum returns the observation sum of one series (mainly for tests).
+func (h *Histogram) Sum(labelValues ...string) float64 {
+	_, sum, _ := h.f.get(labelValues).hist.snapshot(len(h.f.buckets))
+	return sum
 }
 
 // WritePrometheus writes every registered family in Prometheus text
@@ -291,17 +385,18 @@ func (f *family) write(w io.Writer) {
 		case typeCounter, typeGauge:
 			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labelNames, s.labelValues, "", ""), formatFloat(s.value))
 		case typeHistogram:
+			counts, sum, count := s.hist.snapshot(len(f.buckets))
 			cum := uint64(0)
 			for i, ub := range f.buckets {
-				cum += s.counts[i]
+				cum += counts[i]
 				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
 					labelString(f.labelNames, s.labelValues, "le", formatFloat(ub)), cum)
 			}
-			cum += s.counts[len(f.buckets)]
+			cum += counts[len(f.buckets)]
 			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
 				labelString(f.labelNames, s.labelValues, "le", "+Inf"), cum)
-			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labelNames, s.labelValues, "", ""), formatFloat(s.sum))
-			fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labelNames, s.labelValues, "", ""), s.count)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labelNames, s.labelValues, "", ""), formatFloat(sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labelNames, s.labelValues, "", ""), count)
 		}
 	}
 	f.mu.Unlock()

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// RuntimeCollector periodically samples Go runtime health — goroutine
+// count, heap profile, GC pause behaviour — into gauges, so /metrics can
+// answer "is the process itself healthy" alongside the selection metrics.
+type RuntimeCollector struct {
+	goroutines   *Gauge
+	heapAlloc    *Gauge
+	heapSys      *Gauge
+	heapObjects  *Gauge
+	nextGC       *Gauge
+	gcRuns       *Gauge
+	gcPauseLast  *Gauge
+	gcPauseTotal *Gauge
+}
+
+// NewRuntimeCollector registers the runtime gauges in reg. Call Collect for
+// a one-shot sample or Run for a periodic loop.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	return &RuntimeCollector{
+		goroutines: reg.Gauge("pmlmpi_go_goroutines",
+			"Live goroutines."),
+		heapAlloc: reg.Gauge("pmlmpi_go_heap_alloc_bytes",
+			"Bytes of allocated heap objects."),
+		heapSys: reg.Gauge("pmlmpi_go_heap_sys_bytes",
+			"Bytes of heap memory obtained from the OS."),
+		heapObjects: reg.Gauge("pmlmpi_go_heap_objects",
+			"Live heap objects."),
+		nextGC: reg.Gauge("pmlmpi_go_next_gc_bytes",
+			"Heap size target of the next GC cycle."),
+		gcRuns: reg.Gauge("pmlmpi_go_gc_runs",
+			"Completed GC cycles since process start."),
+		gcPauseLast: reg.Gauge("pmlmpi_go_gc_pause_last_seconds",
+			"Stop-the-world pause of the most recent GC cycle."),
+		gcPauseTotal: reg.Gauge("pmlmpi_go_gc_pause_total_seconds",
+			"Cumulative stop-the-world pause time since process start."),
+	}
+}
+
+// Collect takes one sample of the runtime state. Note ReadMemStats briefly
+// stops the world, which is why sampling is periodic rather than per scrape.
+func (c *RuntimeCollector) Collect() {
+	c.goroutines.Set(float64(runtime.NumGoroutine()))
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	c.heapAlloc.Set(float64(m.HeapAlloc))
+	c.heapSys.Set(float64(m.HeapSys))
+	c.heapObjects.Set(float64(m.HeapObjects))
+	c.nextGC.Set(float64(m.NextGC))
+	c.gcRuns.Set(float64(m.NumGC))
+	if m.NumGC > 0 {
+		c.gcPauseLast.Set(float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9)
+	}
+	c.gcPauseTotal.Set(float64(m.PauseTotalNs) / 1e9)
+}
+
+// Run collects immediately and then every interval until ctx is cancelled.
+// It blocks; callers run it in a goroutine.
+func (c *RuntimeCollector) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	c.Collect()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.Collect()
+		}
+	}
+}

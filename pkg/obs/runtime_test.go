@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorPublishesGauges(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	runtime.GC() // guarantee at least one GC cycle so pause gauges are live
+	c.Collect()
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, name := range []string{
+		"pmlmpi_go_goroutines",
+		"pmlmpi_go_heap_alloc_bytes",
+		"pmlmpi_go_heap_sys_bytes",
+		"pmlmpi_go_heap_objects",
+		"pmlmpi_go_next_gc_bytes",
+		"pmlmpi_go_gc_runs",
+		"pmlmpi_go_gc_pause_last_seconds",
+		"pmlmpi_go_gc_pause_total_seconds",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" gauge") {
+			t.Errorf("exposition missing gauge %q", name)
+		}
+	}
+	if c.goroutines.Value() < 1 {
+		t.Errorf("goroutines gauge = %v, want >= 1", c.goroutines.Value())
+	}
+	if c.heapAlloc.Value() <= 0 {
+		t.Errorf("heap alloc gauge = %v, want > 0", c.heapAlloc.Value())
+	}
+	if c.gcRuns.Value() < 1 {
+		t.Errorf("gc runs gauge = %v, want >= 1 after runtime.GC()", c.gcRuns.Value())
+	}
+}
+
+func TestRuntimeCollectorRunStopsOnCancel(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		c.Run(ctx, time.Millisecond)
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not stop after cancel")
+	}
+	if c.goroutines.Value() < 1 {
+		t.Error("Run never collected")
+	}
+}

@@ -107,3 +107,35 @@ func BenchmarkSelectBatch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSelectInstrumented is the telemetry overhead guard: it runs the
+// warm (cache-hit) and cold paths with the full deep-telemetry stack active
+// at three trace sampling rates. The acceptance bar is that production
+// sampling (rate=0.01) stays within 10% of sampling disabled (rate=0) on
+// the matching path — i.e. full instrumentation must not tax the hot path.
+// Compare ns/op between the rate=0 and rate=0.01 sub-benchmarks; rate=1
+// shows the worst case of tracing every request.
+func BenchmarkSelectInstrumented(b *testing.B) {
+	pt := synth.Points(51, 1)[0]
+	for _, rate := range []float64{0, 0.01, 1} {
+		for _, warm := range []bool{true, false} {
+			s := benchSelector(b, 64, 8, warm)
+			s.o.Traces.SetSampleRate(rate)
+			ctx := context.Background()
+			path := "cold"
+			if warm {
+				path = "hit"
+				if _, err := s.Select(ctx, "bench", pt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.Run(fmt.Sprintf("path=%s/sample=%v", path, rate), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Select(ctx, "bench", pt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -31,6 +31,12 @@ func (r *decisionRing) add(d Decision) {
 
 // last returns up to n decisions, most recent first. n <= 0 means all.
 func (r *decisionRing) last(n int) []Decision {
+	return r.lastFiltered(n, "")
+}
+
+// lastFiltered returns up to n decisions for one collective, most recent
+// first. n <= 0 means all; an empty collective matches everything.
+func (r *decisionRing) lastFiltered(n int, collective string) []Decision {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	size := r.next
@@ -41,10 +47,13 @@ func (r *decisionRing) last(n int) []Decision {
 		n = size
 	}
 	out := make([]Decision, 0, n)
-	for i := 1; i <= n; i++ {
+	for i := 1; i <= size && len(out) < n; i++ {
 		idx := r.next - i
 		if idx < 0 {
 			idx += len(r.buf)
+		}
+		if collective != "" && r.buf[idx].Collective != collective {
+			continue
 		}
 		out = append(out, r.buf[idx])
 	}

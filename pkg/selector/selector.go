@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/pml-mpi/pmlmpi/pkg/analytics"
 	"github.com/pml-mpi/pmlmpi/pkg/bundle"
 	"github.com/pml-mpi/pmlmpi/pkg/cache"
 	"github.com/pml-mpi/pmlmpi/pkg/forest"
@@ -76,6 +77,7 @@ type Selector struct {
 	ring       *decisionRing
 	cache      *cache.Cache
 	quantum    float64
+	agg        *analytics.Aggregator
 
 	batchWorkers  int
 	parallelTrees int
@@ -83,10 +85,17 @@ type Selector struct {
 
 	selections *obs.Counter
 	selErrors  *obs.Counter
-	latency    *obs.Histogram
+	duration   *obs.Histogram
 	batches    *obs.Counter
 	batchSize  *obs.Histogram
 }
+
+// Select-duration path label values: a cold selection walks the forest, a
+// cache hit skips it.
+const (
+	PathCold     = "cold"
+	PathCacheHit = "cache_hit"
+)
 
 // batchSizeBuckets are the histogram buckets for SelectBatch request sizes.
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
@@ -122,12 +131,14 @@ func New(b *bundle.Bundle, o *obs.Obs, cfg Config) *Selector {
 		batchWorkers:  workers,
 		parallelTrees: cfg.ParallelTreeThreshold,
 		treeWorkers:   treeWorkers,
+		agg: analytics.New(nil),
 		selections: reg.Counter("pmlmpi_selections_total",
 			"Completed algorithm selections.", "collective", "algorithm"),
 		selErrors: reg.Counter("pmlmpi_selection_errors_total",
 			"Failed algorithm selections.", "collective", "reason"),
-		latency: reg.Histogram("pmlmpi_prediction_latency_seconds",
-			"End-to-end Select latency.", obs.LatencyBuckets, "collective"),
+		duration: reg.Histogram("pmlmpi_select_duration_seconds",
+			"End-to-end Select latency, split by cold vs. cache-hit path.",
+			obs.LatencyBuckets, "collective", "path"),
 		batches: reg.Counter("pmlmpi_batch_requests_total",
 			"SelectBatch calls."),
 		batchSize: reg.Histogram("pmlmpi_batch_size_items",
@@ -138,17 +149,31 @@ func New(b *bundle.Bundle, o *obs.Obs, cfg Config) *Selector {
 	reg.Gauge("pmlmpi_bundle_size_bytes", "Size of the loaded bundle file.").Set(float64(b.SizeBytes))
 	reg.Gauge("pmlmpi_bundle_trained_systems", "Systems the bundle was trained on.").Set(float64(len(b.TrainedOn)))
 	trees := reg.Gauge("pmlmpi_bundle_forest_trees", "Trees per collective forest.", "collective")
+	predict := reg.Histogram("pmlmpi_forest_predict_duration_seconds",
+		"Wall time of one forest evaluation.", obs.LatencyBuckets, "collective")
 	for name, c := range b.Collectives {
 		trees.Set(float64(len(c.Forest.Trees)), name)
+		c.Forest.Instrument(predict.Bind(name).Observe)
 	}
 	return s
 }
+
+// Analytics snapshots the per-collective × per-algorithm selection rollup
+// (counts, cache-hit share, latency quantiles), as served on
+// /debug/analytics.
+func (s *Selector) Analytics() []analytics.Row { return s.agg.Snapshot() }
 
 // Bundle returns the underlying model bundle.
 func (s *Selector) Bundle() *bundle.Bundle { return s.b }
 
 // Recent returns up to n recent decisions, newest first (n <= 0 for all).
 func (s *Selector) Recent(n int) []Decision { return s.ring.last(n) }
+
+// RecentFiltered returns up to n recent decisions for one collective,
+// newest first (n <= 0 for all; empty collective matches everything).
+func (s *Selector) RecentFiltered(n int, collective string) []Decision {
+	return s.ring.lastFiltered(n, collective)
+}
 
 // AlgorithmName maps a class index of a collective to its algorithm name.
 func (s *Selector) AlgorithmName(collective string, class int) string {
@@ -160,13 +185,14 @@ func (s *Selector) AlgorithmName(collective string, class int) string {
 
 // Select predicts the best algorithm for the collective given the named
 // feature map. With a cache configured, a quantized-feature hit is the hot
-// path: extraction, one sharded-map lookup, counters, and a ring append —
-// no tracing spans, no logging, no forest walk. Misses (and all calls when
-// no cache is configured) take the fully traced path: one span per stage,
-// a histogram observation, and a structured log record.
+// path: extraction, one sharded-map lookup, pre-bound instruments, a ring
+// append, and — when head sampling picks the request — one cheap
+// single-span trace record; no forest walk and no logging. Misses (and all
+// calls when no cache is configured) take the fully traced path: one span
+// per stage, histogram observations, and a structured log record.
 func (s *Selector) Select(ctx context.Context, collective string, features map[string]float64) (*Decision, error) {
 	if s.cache == nil {
-		return s.selectTraced(ctx, collective, features, nil)
+		return s.selectTraced(ctx, collective, features, nil, time.Time{}, 0)
 	}
 	start := time.Now()
 	c, ok := s.b.Collective(collective)
@@ -184,10 +210,12 @@ func (s *Selector) Select(ctx context.Context, collective string, features map[s
 	} else {
 		x = make([]float64, n)
 	}
+	extractStart := time.Now()
 	if err := c.VectorInto(x, features); err != nil {
 		s.selErrors.Inc(collective, "missing_feature")
 		return nil, err
 	}
+	extractDur := time.Since(extractStart)
 	key := featureKey(collective, x, s.quantum)
 	if v, ok := s.cache.Get(key); ok {
 		e := v.(cachedEntry)
@@ -205,35 +233,50 @@ func (s *Selector) Select(ctx context.Context, collective string, features map[s
 		d.Cached = true
 		e.sel.Inc()
 		e.lat.Observe(elapsed.Seconds())
+		e.cell.Record(elapsed.Seconds(), true)
 		s.ring.add(d)
+		// The warm path must not be dark: when head sampling picks this
+		// request, retain a single-span trace. SampleLeaf is one atomic
+		// load when sampling is off, so unsampled hits pay ~nothing.
+		if s.o.Tracer.SampleLeaf(ctx) {
+			s.o.Tracer.RecordLeaf(ctx, "selector.cache_hit", start, elapsed, map[string]any{
+				"collective": collective,
+				"algorithm":  d.Algorithm,
+				"class":      d.Class,
+			})
+		}
 		return &d, nil
 	}
-	d, err := s.selectTraced(ctx, collective, features, x)
+	d, err := s.selectTraced(ctx, collective, features, x, extractStart, extractDur)
 	if err != nil {
 		return nil, err
 	}
 	// Bind the metric series once at insert so hits touch neither the
 	// label-join path nor the series map.
 	s.cache.Put(key, cachedEntry{
-		d:   *d,
-		sel: s.selections.Bind(collective, d.Algorithm),
-		lat: s.latency.Bind(collective),
+		d:    *d,
+		sel:  s.selections.Bind(collective, d.Algorithm),
+		lat:  s.duration.Bind(collective, PathCacheHit),
+		cell: s.agg.Cell(collective, d.Algorithm),
 	})
 	return d, nil
 }
 
 // cachedEntry is the decision-cache payload: the memoized decision plus
-// its pre-resolved metric series.
+// its pre-resolved metric series and analytics cell.
 type cachedEntry struct {
-	d   Decision
-	sel obs.BoundCounter
-	lat obs.BoundHistogram
+	d    Decision
+	sel  obs.BoundCounter
+	lat  obs.BoundHistogram
+	cell *analytics.Cell
 }
 
 // selectTraced is the fully instrumented selection path. A non-nil x is a
-// pre-extracted feature vector (cache-miss path), in which case the
-// feature.extract span is skipped — the work already happened unspanned.
-func (s *Selector) selectTraced(ctx context.Context, collective string, features map[string]float64, x []float64) (*Decision, error) {
+// pre-extracted feature vector (cache-miss path): extraction already ran to
+// build the cache key, so instead of a live feature.extract span its
+// measured timing (extractStart/extractDur) is backfilled into the sampled
+// trace, keeping miss span trees as complete as cache-less ones.
+func (s *Selector) selectTraced(ctx context.Context, collective string, features map[string]float64, x []float64, extractStart time.Time, extractDur time.Duration) (*Decision, error) {
 	ctx, reqID := obs.WithRequestID(ctx, obs.RequestIDFrom(ctx))
 	ctx, decide := s.o.Tracer.Start(ctx, "selector.decide")
 	decide.SetAttr("collective", collective)
@@ -257,6 +300,8 @@ func (s *Selector) selectTraced(ctx context.Context, collective string, features
 			s.selErrors.Inc(collective, "missing_feature")
 			return nil, err
 		}
+	} else if s.o.Tracer.SampleLeaf(ctx) {
+		s.o.Tracer.RecordLeaf(ctx, "feature.extract", extractStart, extractDur, nil)
 	}
 
 	_, eval := s.o.Tracer.Start(ctx, "forest.eval")
@@ -274,7 +319,8 @@ func (s *Selector) selectTraced(ctx context.Context, collective string, features
 
 	algo := s.AlgorithmName(collective, pred.Class)
 	s.selections.Inc(collective, algo)
-	s.latency.Observe(elapsed.Seconds(), collective)
+	s.duration.Observe(elapsed.Seconds(), collective, PathCold)
+	s.agg.Record(collective, algo, elapsed.Seconds(), false)
 
 	d := Decision{
 		Time:       start,

@@ -59,7 +59,8 @@ func TestSelectRecordsDecisionAndMetrics(t *testing.T) {
 	out := expo.String()
 	for _, want := range []string{
 		`pmlmpi_selections_total{collective="allgather",algorithm="bruck"} 1`,
-		`pmlmpi_prediction_latency_seconds_count{collective="allgather"} 1`,
+		`pmlmpi_select_duration_seconds_count{collective="allgather",path="cold"} 1`,
+		`pmlmpi_forest_predict_duration_seconds_count{collective="allgather"} 1`,
 		"pmlmpi_bundle_loaded 1",
 		`pmlmpi_span_duration_seconds_count{span="selector.decide"} 1`,
 		`pmlmpi_span_duration_seconds_count{span="feature.extract"} 1`,
