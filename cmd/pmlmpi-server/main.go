@@ -1,7 +1,10 @@
 // Command pmlmpi-server runs the PML-MPI algorithm-selection service: it
-// loads the pre-trained model bundle and serves selections plus the full
-// observability surface (/metrics, /healthz, /debug/decisions,
-// /debug/traces, /debug/analytics, optional /debug/pprof, /v1/select).
+// loads the pre-trained model bundle into a versioned registry and serves
+// selections plus the full observability surface (/metrics, /healthz,
+// /debug/decisions, /debug/traces, /debug/analytics, /debug/shadow,
+// optional /debug/pprof, /v1/select, /v1/registry). Bundles can be
+// hot-swapped at runtime via the registry endpoints or the -bundle-watch
+// poller, with optional shadow evaluation of staged candidates.
 package main
 
 import (
@@ -16,9 +19,9 @@ import (
 	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/admin"
-	"github.com/pml-mpi/pmlmpi/pkg/bundle"
 	"github.com/pml-mpi/pmlmpi/pkg/cache"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/registry"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
 )
 
@@ -33,10 +36,18 @@ type options struct {
 	batchWorkers  int
 	parallelTrees int
 
+	registryKeep   int
+	bundleWatch    bool
+	watchInterval  time.Duration
+	shadowFraction float64
+	shadowWorkers  int
+	shadowQueue    int
+
 	traceSampleRate float64
 	traceCapacity   int
 	pprof           bool
 	runtimeInterval time.Duration
+	shutdownTimeout time.Duration
 }
 
 func main() {
@@ -53,10 +64,18 @@ func main() {
 		batchWorkers  = flag.Int("batch-workers", 0, "worker-pool size for /v1/select/batch (0 = GOMAXPROCS)")
 		parallelTrees = flag.Int("parallel-trees", 0, "evaluate forests with at least this many trees concurrently (0 disables)")
 
+		registryKeep   = flag.Int("registry-keep", 4, "model generations kept resident for promote/rollback")
+		bundleWatch    = flag.Bool("bundle-watch", false, "poll the bundle file and hot-swap changed content automatically")
+		watchInterval  = flag.Duration("bundle-watch-interval", 5*time.Second, "bundle watcher poll interval")
+		shadowFraction = flag.Float64("shadow-fraction", 0.1, "fraction of live traffic mirrored to a staged candidate generation (0 disables shadow evaluation)")
+		shadowWorkers  = flag.Int("shadow-workers", 2, "worker goroutines evaluating shadow samples")
+		shadowQueue    = flag.Int("shadow-queue", 256, "shadow sample queue capacity (overflow is dropped, never blocks)")
+
 		traceSampleRate = flag.Float64("trace-sample-rate", 0.01, "head-based trace sampling fraction in [0,1] (0 disables tracing)")
 		traceCapacity   = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "sampled traces retained for /debug/traces")
 		pprofFlag       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		runtimeInterval = flag.Duration("runtime-metrics-interval", 10*time.Second, "period of the Go runtime stats collector (0 disables)")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "deadline for draining in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -71,10 +90,18 @@ func main() {
 		batchWorkers:  *batchWorkers,
 		parallelTrees: *parallelTrees,
 
+		registryKeep:   *registryKeep,
+		bundleWatch:    *bundleWatch,
+		watchInterval:  *watchInterval,
+		shadowFraction: *shadowFraction,
+		shadowWorkers:  *shadowWorkers,
+		shadowQueue:    *shadowQueue,
+
 		traceSampleRate: *traceSampleRate,
 		traceCapacity:   *traceCapacity,
 		pprof:           *pprofFlag,
 		runtimeInterval: *runtimeInterval,
+		shutdownTimeout: *shutdownTimeout,
 	})
 	if err != nil {
 		o.Logger.Error("fatal", "error", err.Error())
@@ -86,11 +113,6 @@ func run(o *obs.Obs, opts options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	b, err := bundle.LoadObserved(ctx, o, opts.bundlePath)
-	if err != nil {
-		return fmt.Errorf("load bundle: %w", err)
-	}
-
 	o.Traces.SetCapacity(opts.traceCapacity)
 	o.Traces.SetSampleRate(opts.traceSampleRate)
 	if opts.traceSampleRate > 0 {
@@ -99,6 +121,23 @@ func run(o *obs.Obs, opts options) error {
 	}
 	if opts.runtimeInterval > 0 {
 		go obs.NewRuntimeCollector(o.Registry).Run(ctx, opts.runtimeInterval)
+	}
+
+	// Registry + shadow evaluation. The shadow is built first (the registry
+	// feeds it staged candidates); its algorithm namer is wired after the
+	// selector exists.
+	shadow := registry.NewShadow(o, registry.ShadowConfig{
+		Fraction:  opts.shadowFraction,
+		Workers:   opts.shadowWorkers,
+		QueueSize: opts.shadowQueue,
+	})
+	reg := registry.New(o, registry.Config{Keep: opts.registryKeep, Shadow: shadow})
+	gen, err := reg.Load(opts.bundlePath)
+	if err != nil {
+		return fmt.Errorf("load bundle: %w", err)
+	}
+	if _, err := reg.Promote(gen.ID()); err != nil {
+		return fmt.Errorf("promote initial bundle: %w", err)
 	}
 
 	var decisionCache *cache.Cache
@@ -114,21 +153,36 @@ func run(o *obs.Obs, opts options) error {
 		o.Logger.Info("decision cache disabled")
 	}
 
-	sel := selector.New(b, o, selector.Config{
+	sel := selector.NewFromSource(reg, o, selector.Config{
 		RingSize:              opts.ringSize,
 		Cache:                 decisionCache,
 		BatchWorkers:          opts.batchWorkers,
 		ParallelTreeThreshold: opts.parallelTrees,
+		Shadow:                shadow,
 	})
+	shadow.SetNamer(sel.AlgorithmName)
+	shadow.Start()
+
+	if opts.bundleWatch {
+		go registry.NewWatcher(reg, o, opts.bundlePath, opts.watchInterval).Run(ctx)
+	}
+
 	srv := &http.Server{
-		Addr:              opts.addr,
-		Handler:           admin.New(sel, o, admin.Config{Pprof: opts.pprof}),
+		Addr: opts.addr,
+		Handler: admin.New(sel, o, admin.Config{
+			Pprof:    opts.pprof,
+			Registry: reg,
+			Shadow:   shadow,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		o.Logger.Info("serving", "addr", opts.addr, "collectives", b.CollectiveNames())
+		o.Logger.Info("serving",
+			"addr", opts.addr,
+			"generation", gen.ID(),
+			"collectives", gen.Bundle().CollectiveNames())
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -140,8 +194,16 @@ func run(o *obs.Obs, opts options) error {
 	case <-ctx.Done():
 	}
 
-	o.Logger.Info("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Graceful shutdown: restore default signal handling first (a second
+	// SIGINT kills the process immediately), drain in-flight HTTP with a
+	// deadline, then stop the shadow workers — the watcher and runtime
+	// collector already exit with ctx.
+	stop()
+	o.Logger.Info("shutting down", "timeout", opts.shutdownTimeout.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.shutdownTimeout)
 	defer cancel()
-	return srv.Shutdown(shutdownCtx)
+	shutdownErr := srv.Shutdown(shutdownCtx)
+	shadow.Stop()
+	o.Logger.Info("shutdown complete")
+	return shutdownErr
 }

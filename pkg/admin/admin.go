@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/registry"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
 )
 
@@ -24,12 +25,22 @@ type Config struct {
 	// profile endpoints can stall the process (CPU profiles block for their
 	// duration) and belong behind an operator's explicit flag.
 	Pprof bool
+	// Registry, when non-nil, mounts the model-registry lifecycle surface
+	// (GET /v1/registry, POST /v1/registry/{load,promote,rollback}) and
+	// makes /healthz generation-aware: the active generation is reported,
+	// and a registry with no valid active bundle degrades health to 503.
+	Registry *registry.Registry
+	// Shadow, when non-nil, mounts /debug/shadow with the candidate
+	// agreement/latency report.
+	Shadow *registry.Shadow
 }
 
 // Server is the admin HTTP handler.
 type Server struct {
 	sel     *selector.Selector
 	o       *obs.Obs
+	reg     *registry.Registry
+	shadow  *registry.Shadow
 	started time.Time
 	mux     *http.ServeMux
 
@@ -42,6 +53,8 @@ func New(sel *selector.Selector, o *obs.Obs, cfg Config) *Server {
 	s := &Server{
 		sel:     sel,
 		o:       o,
+		reg:     cfg.Registry,
+		shadow:  cfg.Shadow,
 		started: time.Now(),
 		mux:     http.NewServeMux(),
 		httpRequests: o.Registry.Counter("pmlmpi_http_requests_total",
@@ -56,6 +69,15 @@ func New(sel *selector.Selector, o *obs.Obs, cfg Config) *Server {
 	s.mux.HandleFunc("/debug/analytics", s.instrument("/debug/analytics", s.handleAnalytics))
 	s.mux.HandleFunc("/v1/select", s.instrument("/v1/select", s.handleSelect))
 	s.mux.HandleFunc("/v1/select/batch", s.instrument("/v1/select/batch", s.handleSelectBatch))
+	if cfg.Registry != nil {
+		s.mux.HandleFunc("/v1/registry", s.instrument("/v1/registry", s.handleRegistry))
+		s.mux.HandleFunc("/v1/registry/load", s.instrument("/v1/registry/load", s.handleRegistryLoad))
+		s.mux.HandleFunc("/v1/registry/promote", s.instrument("/v1/registry/promote", s.handleRegistryPromote))
+		s.mux.HandleFunc("/v1/registry/rollback", s.instrument("/v1/registry/rollback", s.handleRegistryRollback))
+	}
+	if cfg.Shadow != nil {
+		s.mux.HandleFunc("/debug/shadow", s.instrument("/debug/shadow", s.handleShadow))
+	}
 	if cfg.Pprof {
 		// Mounted bare, without the instrument wrapper: statusRecorder does
 		// not forward http.Flusher, which the streaming profile endpoints
@@ -113,33 +135,63 @@ type healthCollective struct {
 	CVAUC   float64 `json:"cv_auc"`
 }
 
+// healthGeneration summarizes the active model generation for /healthz.
+type healthGeneration struct {
+	ID          uint64 `json:"id"`
+	Hash        string `json:"hash"`
+	Source      string `json:"source"`
+	Collectives int    `json:"collectives"`
+}
+
 // Health is the /healthz response body.
 type Health struct {
 	Status        string                      `json:"status"`
 	BundleLoaded  bool                        `json:"bundle_loaded"`
-	ModelVersion  string                      `json:"model_version"`
+	ModelVersion  string                      `json:"model_version,omitempty"`
 	BundlePath    string                      `json:"bundle_path,omitempty"`
-	TrainedOn     []string                    `json:"trained_on"`
-	Collectives   map[string]healthCollective `json:"collectives"`
+	Generation    *healthGeneration           `json:"generation,omitempty"`
+	TrainedOn     []string                    `json:"trained_on,omitempty"`
+	Collectives   map[string]healthCollective `json:"collectives,omitempty"`
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 }
 
+// handleHealthz reports serving health. With a registry configured, it
+// reports the active generation and degrades to 503 when no generation is
+// active — the load balancer signal that this instance cannot select.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{UptimeSeconds: time.Since(s.started).Seconds()}
 	b := s.sel.Bundle()
-	h := Health{
-		Status:        "ok",
-		BundleLoaded:  true,
-		ModelVersion:  b.Version,
-		BundlePath:    b.Path,
-		TrainedOn:     b.TrainedOn,
-		Collectives:   make(map[string]healthCollective, len(b.Collectives)),
-		UptimeSeconds: time.Since(s.started).Seconds(),
+	if b == nil {
+		h.Status = "unavailable"
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
 	}
+	h.Status = "ok"
+	h.BundleLoaded = true
+	h.ModelVersion = b.Version
+	h.BundlePath = b.Path
+	h.TrainedOn = b.TrainedOn
+	h.Collectives = make(map[string]healthCollective, len(b.Collectives))
 	for name, c := range b.Collectives {
 		h.Collectives[name] = healthCollective{
 			Trees:   len(c.Forest.Trees),
 			Classes: c.Forest.NClasses,
 			CVAUC:   c.CVAUC,
+		}
+	}
+	if s.reg != nil {
+		g := s.reg.ActiveGeneration()
+		if g == nil {
+			h.Status = "unavailable"
+			h.BundleLoaded = false
+			writeJSON(w, http.StatusServiceUnavailable, h)
+			return
+		}
+		h.Generation = &healthGeneration{
+			ID:          g.ID(),
+			Hash:        g.Hash(),
+			Source:      g.Source(),
+			Collectives: len(g.Bundle().Collectives),
 		}
 	}
 	writeJSON(w, http.StatusOK, h)
@@ -299,6 +351,117 @@ func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = batchItemResponse{Decision: res.Decision}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRegistry lists resident generations and the active one.
+func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET lists registry generations")
+		return
+	}
+	var activeID uint64
+	if g := s.reg.ActiveGeneration(); g != nil {
+		activeID = g.ID()
+	}
+	gens := s.reg.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"active_generation": activeID,
+		"count":             len(gens),
+		"generations":       gens,
+	})
+}
+
+// registryLoadRequest is the POST /v1/registry/load body.
+type registryLoadRequest struct {
+	Path string `json:"path"`
+	// Promote activates the loaded generation immediately — load, stage,
+	// and swap in one call.
+	Promote bool `json:"promote,omitempty"`
+}
+
+// handleRegistryLoad stages a bundle file as a new generation. An invalid
+// bundle yields a 422 and leaves the active generation untouched.
+func (s *Server) handleRegistryLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, "POST a JSON body: {\"path\": \"...\", \"promote\": false}")
+		return
+	}
+	var req registryLoadRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "missing \"path\"")
+		return
+	}
+	g, err := s.reg.Load(req.Path)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if req.Promote {
+		if _, err := s.reg.Promote(g.ID()); err != nil {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.reg.InfoFor(g))
+}
+
+// registryPromoteRequest is the POST /v1/registry/promote body. Id 0 (or an
+// empty body) promotes the most recently staged generation.
+type registryPromoteRequest struct {
+	ID uint64 `json:"id,omitempty"`
+}
+
+func (s *Server) handleRegistryPromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, "POST a JSON body: {\"id\": N} (omit id to promote the latest staged generation)")
+		return
+	}
+	var req registryPromoteRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	}
+	id := req.ID
+	if id == 0 {
+		g := s.reg.LatestStaged()
+		if g == nil {
+			writeError(w, http.StatusConflict, "no staged generation to promote (load one first, or pass an explicit id)")
+			return
+		}
+		id = g.ID()
+	}
+	g, err := s.reg.Promote(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.reg.InfoFor(g))
+}
+
+func (s *Server) handleRegistryRollback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, "POST with an empty body rolls back to the previously active generation")
+		return
+	}
+	g, err := s.reg.Rollback()
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.reg.InfoFor(g))
+}
+
+// handleShadow serves the shadow-evaluation evidence for the staged (or
+// most recently staged) candidate generation.
+func (s *Server) handleShadow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.shadow.Report())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

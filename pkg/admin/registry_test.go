@@ -1,0 +1,244 @@
+package admin
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/registry"
+	"github.com/pml-mpi/pmlmpi/pkg/selector"
+	"github.com/pml-mpi/pmlmpi/pkg/synth"
+)
+
+// writeSynthBundle renders a deterministic synthetic bundle to a file and
+// returns its path.
+func writeSynthBundle(t *testing.T, dir string, name string, seed int64) string {
+	t.Helper()
+	data, err := synth.JSON(synth.Config{Seed: seed})
+	if err != nil {
+		t.Fatalf("synth.JSON: %v", err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// newRegistryServer builds a server backed by a registry with one promoted
+// generation, the full production wiring: registry → selector → admin.
+func newRegistryServer(t *testing.T) (*Server, *registry.Registry, string) {
+	t.Helper()
+	dir := t.TempDir()
+	o := obs.NewForTest()
+	sh := registry.NewShadow(o, registry.ShadowConfig{Fraction: 1, Workers: 1})
+	r := registry.New(o, registry.Config{Shadow: sh})
+	g, err := r.Load(writeSynthBundle(t, dir, "gen1.json", 1))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := r.Promote(g.ID()); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	sel := selector.NewFromSource(r, o, selector.Config{RingSize: 8})
+	return New(sel, o, Config{Registry: r, Shadow: sh}), r, dir
+}
+
+func decode(t *testing.T, body []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("response not JSON: %v\n%s", err, body)
+	}
+}
+
+func TestRegistryListEndpoint(t *testing.T) {
+	srv, _, _ := newRegistryServer(t)
+	rec := get(t, srv, "/v1/registry")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/registry = %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		ActiveGeneration uint64          `json:"active_generation"`
+		Count            int             `json:"count"`
+		Generations      []registry.Info `json:"generations"`
+	}
+	decode(t, rec.Body.Bytes(), &resp)
+	if resp.ActiveGeneration != 1 || resp.Count != 1 {
+		t.Fatalf("registry listing = %+v, want active 1 of 1", resp)
+	}
+	if len(resp.Generations) != 1 || resp.Generations[0].Status != registry.StatusActive {
+		t.Fatalf("generations = %+v, want one active", resp.Generations)
+	}
+	if resp.Generations[0].Hash == "" {
+		t.Fatal("generation listing missing content hash")
+	}
+
+	if rec := post(t, srv, "/v1/registry", "{}"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/registry = %d, want 405", rec.Code)
+	}
+}
+
+func TestRegistryLoadPromoteRollbackLifecycle(t *testing.T) {
+	srv, reg, dir := newRegistryServer(t)
+	gen2 := writeSynthBundle(t, dir, "gen2.json", 2)
+
+	// Load stages without activating.
+	rec := post(t, srv, "/v1/registry/load", `{"path": "`+gen2+`"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("load = %d: %s", rec.Code, rec.Body)
+	}
+	var info registry.Info
+	decode(t, rec.Body.Bytes(), &info)
+	if info.ID != 2 || info.Status != registry.StatusStaged {
+		t.Fatalf("loaded generation = %+v, want id 2 staged", info)
+	}
+	if g := reg.ActiveGeneration(); g == nil || g.ID() != 1 {
+		t.Fatal("load changed the active generation")
+	}
+
+	// Bare promote activates the latest staged generation.
+	rec = post(t, srv, "/v1/registry/promote", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("promote = %d: %s", rec.Code, rec.Body)
+	}
+	decode(t, rec.Body.Bytes(), &info)
+	if info.ID != 2 || info.Status != registry.StatusActive {
+		t.Fatalf("promoted generation = %+v, want id 2 active", info)
+	}
+
+	// Rollback returns to generation 1.
+	rec = post(t, srv, "/v1/registry/rollback", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rollback = %d: %s", rec.Code, rec.Body)
+	}
+	decode(t, rec.Body.Bytes(), &info)
+	if info.ID != 1 {
+		t.Fatalf("rollback activated %+v, want id 1", info)
+	}
+
+	// Explicit-id promote re-activates generation 2.
+	rec = post(t, srv, "/v1/registry/promote", `{"id": 2}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explicit promote = %d: %s", rec.Code, rec.Body)
+	}
+	decode(t, rec.Body.Bytes(), &info)
+	if info.ID != 2 {
+		t.Fatalf("explicit promote activated %+v, want id 2", info)
+	}
+}
+
+func TestRegistryEndpointErrorPaths(t *testing.T) {
+	srv, reg, dir := newRegistryServer(t)
+
+	// Missing path field.
+	if rec := post(t, srv, "/v1/registry/load", "{}"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("load without path = %d, want 400", rec.Code)
+	}
+	// Unreadable file.
+	if rec := post(t, srv, "/v1/registry/load", `{"path": "`+filepath.Join(dir, "missing.json")+`"}`); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("load of missing file = %d, want 422", rec.Code)
+	}
+	// Invalid content: rejected with 422, active generation untouched.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not a bundle"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rec := post(t, srv, "/v1/registry/load", `{"path": "`+bad+`"}`); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("load of invalid bundle = %d, want 422", rec.Code)
+	}
+	if g := reg.ActiveGeneration(); g == nil || g.ID() != 1 {
+		t.Fatal("failed load disturbed the active generation")
+	}
+
+	// Promote of an unknown id.
+	if rec := post(t, srv, "/v1/registry/promote", `{"id": 99}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("promote unknown id = %d, want 404", rec.Code)
+	}
+	// Bare promote with nothing staged.
+	if rec := post(t, srv, "/v1/registry/promote", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("bare promote with nothing staged = %d, want 409", rec.Code)
+	}
+	// Rollback with no history (only one generation ever active).
+	if rec := post(t, srv, "/v1/registry/rollback", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("rollback without history = %d, want 409", rec.Code)
+	}
+
+	// Mutating endpoints are POST-only and advertise Allow.
+	for _, path := range []string{"/v1/registry/load", "/v1/registry/promote", "/v1/registry/rollback"} {
+		rec := get(t, srv, path)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s = %d, want 405", path, rec.Code)
+		}
+		if rec.Header().Get("Allow") != http.MethodPost {
+			t.Fatalf("GET %s missing Allow: POST header", path)
+		}
+	}
+}
+
+func TestHealthzReportsActiveGeneration(t *testing.T) {
+	srv, reg, _ := newRegistryServer(t)
+	rec := get(t, srv, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d: %s", rec.Code, rec.Body)
+	}
+	var h Health
+	decode(t, rec.Body.Bytes(), &h)
+	if h.Generation == nil {
+		t.Fatalf("health has no generation block: %+v", h)
+	}
+	g := reg.ActiveGeneration()
+	if h.Generation.ID != g.ID() || h.Generation.Hash != g.Hash() {
+		t.Fatalf("health generation = %+v, want id %d hash %s", h.Generation, g.ID(), g.Hash())
+	}
+	if h.Generation.Collectives != len(g.Bundle().Collectives) {
+		t.Fatalf("health reports %d collectives, want %d", h.Generation.Collectives, len(g.Bundle().Collectives))
+	}
+}
+
+func TestHealthzDegradesWithoutActiveGeneration(t *testing.T) {
+	dir := t.TempDir()
+	o := obs.NewForTest()
+	r := registry.New(o, registry.Config{})
+	// Staged but never promoted: the instance cannot serve selections.
+	if _, err := r.Load(writeSynthBundle(t, dir, "staged.json", 1)); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	sel := selector.NewFromSource(r, o, selector.Config{})
+	srv := New(sel, o, Config{Registry: r})
+
+	rec := get(t, srv, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with no active generation = %d, want 503", rec.Code)
+	}
+	var h Health
+	decode(t, rec.Body.Bytes(), &h)
+	if h.Status != "unavailable" || h.BundleLoaded {
+		t.Fatalf("health = %+v, want unavailable/unloaded", h)
+	}
+}
+
+func TestShadowEndpointReportsCandidateEvidence(t *testing.T) {
+	srv, reg, dir := newRegistryServer(t)
+	if _, err := reg.Load(writeSynthBundle(t, dir, "cand.json", 2)); err != nil {
+		t.Fatalf("load candidate: %v", err)
+	}
+
+	rec := get(t, srv, "/debug/shadow")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/shadow = %d: %s", rec.Code, rec.Body)
+	}
+	var rep registry.ShadowReport
+	decode(t, rec.Body.Bytes(), &rep)
+	if !rep.Enabled {
+		t.Fatalf("shadow report = %+v, want enabled (candidate staged, fraction 1)", rep)
+	}
+	if rep.CandidateGeneration != 2 {
+		t.Fatalf("candidate generation = %d, want 2", rep.CandidateGeneration)
+	}
+	if rep.Fraction != 1 {
+		t.Fatalf("fraction = %v, want 1", rep.Fraction)
+	}
+}

@@ -8,6 +8,7 @@ package bundle
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -95,6 +96,18 @@ type Bundle struct {
 	Path        string
 	SizeBytes   int64
 	LoadedAt    time.Time
+	// Hash is the hex SHA-256 of the raw bundle bytes. The registry keys
+	// generation identity and change detection on it.
+	Hash string
+}
+
+// ShortHash returns the first 12 hex digits of Hash for logs and UIs, or
+// "" when the bundle was built in memory without raw bytes.
+func (b *Bundle) ShortHash() string {
+	if len(b.Hash) < 12 {
+		return b.Hash
+	}
+	return b.Hash[:12]
 }
 
 // Collective returns the model for the named collective.
@@ -142,6 +155,7 @@ func LoadObserved(ctx context.Context, o *obs.Obs, path string) (*Bundle, error)
 	}
 	log.Info("bundle loaded",
 		"path", path,
+		"hash", b.ShortHash(),
 		"version", b.Version,
 		"collectives", b.CollectiveNames(),
 		"trained_on_systems", len(b.TrainedOn),
@@ -161,7 +175,12 @@ func Parse(data []byte) (*Bundle, error) {
 		return nil, fmt.Errorf("parse: malformed or truncated bundle JSON (%d bytes): %w", len(data), err)
 	}
 
-	b := &Bundle{Collectives: make(map[string]*Collective), LoadedAt: time.Now()}
+	b := &Bundle{
+		Collectives: make(map[string]*Collective),
+		LoadedAt:    time.Now(),
+		Hash:        fmt.Sprintf("%x", sha256.Sum256(data)),
+		SizeBytes:   int64(len(data)),
+	}
 
 	verRaw, ok := raw["version"]
 	if !ok {

@@ -210,6 +210,30 @@ func (c *Cache) Put(key string, val any) {
 	}
 }
 
+// Flush drops every live entry, counting each as an eviction with reason
+// "flush", and returns how many were dropped. The selector calls it when a
+// new model generation is promoted: generation-prefixed keys already make
+// old entries unreachable, so this exists to reclaim their memory eagerly
+// rather than waiting on LRU/TTL pressure.
+func (c *Cache) Flush() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n := sh.lru.Len()
+		sh.lru.Init()
+		sh.entries = make(map[string]*list.Element)
+		sh.mu.Unlock()
+		total += n
+	}
+	if total > 0 {
+		c.evictions.Add(uint64(total))
+		c.mEvictions.Add(float64(total), "flush")
+		c.mEntries.Add(float64(-total))
+	}
+	return total
+}
+
 // Len returns the number of live entries across all shards. Expired but
 // not-yet-collected entries are included.
 func (c *Cache) Len() int {

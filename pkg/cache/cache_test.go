@@ -162,3 +162,44 @@ func TestLookupDurationHistogramCountsEveryGet(t *testing.T) {
 		t.Errorf("exposition missing %q in:\n%s", want, b.String())
 	}
 }
+
+func TestFlushEmptiesEveryShardAndCounts(t *testing.T) {
+	c, reg := newTestCache(Config{MaxEntries: 1024, Shards: 8})
+	const n = 100
+	for i := 0; i < n; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if got := c.Len(); got != n {
+		t.Fatalf("Len = %d before flush, want %d", got, n)
+	}
+
+	if flushed := c.Flush(); flushed != n {
+		t.Fatalf("Flush returned %d, want %d", flushed, n)
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("Len = %d after flush, want 0", got)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Fatalf("key k%d survived the flush", i)
+		}
+	}
+	if st := c.Stats(); st.Evictions != n {
+		t.Fatalf("evictions = %d after flush, want %d", st.Evictions, n)
+	}
+
+	// Flushing an empty cache is a no-op, and the cache stays usable.
+	if flushed := c.Flush(); flushed != 0 {
+		t.Fatalf("second Flush returned %d, want 0", flushed)
+	}
+	c.Put("again", 1)
+	if v, ok := c.Get("again"); !ok || v.(int) != 1 {
+		t.Fatal("cache unusable after flush")
+	}
+
+	var expo strings.Builder
+	reg.WritePrometheus(&expo)
+	if out := expo.String(); !strings.Contains(out, `pmlmpi_cache_evictions_total{reason="flush"} 100`) {
+		t.Fatalf("flush evictions not exported with reason label:\n%s", out)
+	}
+}

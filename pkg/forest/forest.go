@@ -9,6 +9,7 @@ package forest
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -64,16 +65,24 @@ type Forest struct {
 	OOB        float64   `json:"oob,omitempty"`
 
 	// onPredict, when set via Instrument, receives the wall time of every
-	// Predict/PredictWith call. Unexported so JSON round-trips ignore it.
-	onPredict func(seconds float64)
+	// Predict/PredictWith call. Unexported so JSON round-trips ignore it;
+	// atomic so a hot-swapped bundle can be instrumented while earlier
+	// generations still serve traffic.
+	onPredict atomic.Pointer[func(seconds float64)]
 }
 
 // Instrument registers fn to receive the wall-clock seconds of every
 // subsequent Predict/PredictWith call — the hook the selector uses to feed
 // its per-predict latency histogram without this package depending on the
-// metrics layer. Passing nil removes the hook. Not safe to call
-// concurrently with Predict; wire it up before serving traffic.
-func (f *Forest) Instrument(fn func(seconds float64)) { f.onPredict = fn }
+// metrics layer. Passing nil removes the hook. Safe to call concurrently
+// with Predict.
+func (f *Forest) Instrument(fn func(seconds float64)) {
+	if fn == nil {
+		f.onPredict.Store(nil)
+		return
+	}
+	f.onPredict.Store(&fn)
+}
 
 // Prediction is the result of evaluating a forest on one feature vector.
 type Prediction struct {
@@ -128,8 +137,8 @@ func (f *Forest) Predict(x []float64) (Prediction, error) {
 	if len(f.Trees) == 0 {
 		return Prediction{}, fmt.Errorf("forest has no trees")
 	}
-	if f.onPredict != nil {
-		defer func(start time.Time) { f.onPredict(time.Since(start).Seconds()) }(time.Now())
+	if fn := f.onPredict.Load(); fn != nil {
+		defer func(start time.Time) { (*fn)(time.Since(start).Seconds()) }(time.Now())
 	}
 	acc := make([]float64, f.NClasses)
 	votes := make([]int, f.NClasses)
@@ -153,8 +162,8 @@ func (f *Forest) PredictWith(x []float64, workers int) (Prediction, error) {
 	if workers <= 1 {
 		return f.Predict(x)
 	}
-	if f.onPredict != nil {
-		defer func(start time.Time) { f.onPredict(time.Since(start).Seconds()) }(time.Now())
+	if fn := f.onPredict.Load(); fn != nil {
+		defer func(start time.Time) { (*fn)(time.Since(start).Seconds()) }(time.Now())
 	}
 	type partial struct {
 		acc   []float64

@@ -1,0 +1,231 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/synth"
+)
+
+// bundleJSON renders a deterministic synthetic bundle for the given seed.
+func bundleJSON(t *testing.T, seed int64) []byte {
+	t.Helper()
+	data, err := synth.JSON(synth.Config{Seed: seed})
+	if err != nil {
+		t.Fatalf("synth.JSON: %v", err)
+	}
+	return data
+}
+
+func TestLoadStagesWithoutActivating(t *testing.T) {
+	r := New(obs.NewForTest(), Config{})
+	g, err := r.LoadData(bundleJSON(t, 1), "mem://a")
+	if err != nil {
+		t.Fatalf("LoadData: %v", err)
+	}
+	if g.ID() != 1 {
+		t.Fatalf("first generation id = %d, want 1", g.ID())
+	}
+	if g.Hash() == "" {
+		t.Fatal("generation has no content hash")
+	}
+	if b, gen := r.Active(); b != nil || gen != 0 {
+		t.Fatalf("Active() = (%v, %d) before any promote, want (nil, 0)", b, gen)
+	}
+	if got := r.Snapshot(); len(got) != 1 || got[0].Status != StatusStaged {
+		t.Fatalf("Snapshot = %+v, want one staged generation", got)
+	}
+}
+
+func TestPromoteAndRollback(t *testing.T) {
+	r := New(obs.NewForTest(), Config{})
+	a, _ := r.LoadData(bundleJSON(t, 1), "mem://a")
+	b, _ := r.LoadData(bundleJSON(t, 2), "mem://b")
+
+	if _, err := r.Promote(a.ID()); err != nil {
+		t.Fatalf("promote a: %v", err)
+	}
+	if _, gen := r.Active(); gen != a.ID() {
+		t.Fatalf("active generation = %d, want %d", gen, a.ID())
+	}
+	if _, err := r.Promote(b.ID()); err != nil {
+		t.Fatalf("promote b: %v", err)
+	}
+	if _, gen := r.Active(); gen != b.ID() {
+		t.Fatalf("active generation = %d, want %d", gen, b.ID())
+	}
+
+	// Rollback returns to a; a second rollback toggles back to b.
+	g, err := r.Rollback()
+	if err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	if g.ID() != a.ID() {
+		t.Fatalf("rollback activated %d, want %d", g.ID(), a.ID())
+	}
+	g, err = r.Rollback()
+	if err != nil {
+		t.Fatalf("second rollback: %v", err)
+	}
+	if g.ID() != b.ID() {
+		t.Fatalf("second rollback activated %d, want %d", g.ID(), b.ID())
+	}
+}
+
+func TestRollbackWithoutHistoryFails(t *testing.T) {
+	r := New(obs.NewForTest(), Config{})
+	if _, err := r.Rollback(); err == nil {
+		t.Fatal("rollback on empty registry should fail")
+	}
+	g, _ := r.LoadData(bundleJSON(t, 1), "mem://a")
+	if _, err := r.Promote(g.ID()); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	// prev is nil (nothing was active before the first promote).
+	if _, err := r.Rollback(); err == nil {
+		t.Fatal("rollback with no previously active generation should fail")
+	}
+}
+
+func TestPromoteUnknownGeneration(t *testing.T) {
+	r := New(obs.NewForTest(), Config{})
+	if _, err := r.Promote(42); err == nil {
+		t.Fatal("promoting an unknown generation should fail")
+	}
+}
+
+func TestPromoteActiveIsNoOp(t *testing.T) {
+	r := New(obs.NewForTest(), Config{})
+	g, _ := r.LoadData(bundleJSON(t, 1), "mem://a")
+	if _, err := r.Promote(g.ID()); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	swaps := 0
+	r.Subscribe(func(_ *bundle.Bundle, _ uint64) { swaps++ })
+	if _, err := r.Promote(g.ID()); err != nil {
+		t.Fatalf("re-promote: %v", err)
+	}
+	if swaps != 0 {
+		t.Fatalf("re-promoting the active generation notified %d subscribers, want 0", swaps)
+	}
+}
+
+func TestInvalidBundleRejectedWithoutDisturbingActive(t *testing.T) {
+	r := New(obs.NewForTest(), Config{})
+	a, _ := r.LoadData(bundleJSON(t, 1), "mem://a")
+	r.Promote(a.ID())
+
+	if _, err := r.LoadData([]byte(`{"version": "wrong"}`), "mem://bad"); err == nil {
+		t.Fatal("invalid bundle should be rejected")
+	}
+	if _, gen := r.Active(); gen != a.ID() {
+		t.Fatalf("active generation changed to %d after invalid load", gen)
+	}
+	if got := len(r.Snapshot()); got != 1 {
+		t.Fatalf("registry has %d generations after rejected load, want 1", got)
+	}
+}
+
+func TestDuplicateLoadReturnsResidentGeneration(t *testing.T) {
+	r := New(obs.NewForTest(), Config{})
+	a, _ := r.LoadData(bundleJSON(t, 1), "mem://a")
+	dup, err := r.LoadData(bundleJSON(t, 1), "mem://elsewhere")
+	if err != nil {
+		t.Fatalf("duplicate load: %v", err)
+	}
+	if dup.ID() != a.ID() {
+		t.Fatalf("duplicate load created generation %d, want resident %d", dup.ID(), a.ID())
+	}
+}
+
+func TestRetentionNeverDropsActiveOrRollbackTarget(t *testing.T) {
+	r := New(obs.NewForTest(), Config{Keep: 2})
+	var first *Generation
+	for seed := int64(1); seed <= 5; seed++ {
+		g, err := r.LoadData(bundleJSON(t, seed), "mem://gen")
+		if err != nil {
+			t.Fatalf("load seed %d: %v", seed, err)
+		}
+		if first == nil {
+			first = g
+		}
+		if _, err := r.Promote(g.ID()); err != nil {
+			t.Fatalf("promote seed %d: %v", seed, err)
+		}
+	}
+	snap := r.Snapshot()
+	if len(snap) > 2 {
+		t.Fatalf("registry retained %d generations with Keep=2: %+v", len(snap), snap)
+	}
+	// The active (id 5) and rollback target (id 4) must both survive.
+	ids := map[uint64]bool{}
+	for _, inf := range snap {
+		ids[inf.ID] = true
+	}
+	if !ids[5] || !ids[4] {
+		t.Fatalf("retention dropped active or rollback target: resident %v", ids)
+	}
+	if _, ok := r.Generation(first.ID()); ok {
+		t.Fatal("oldest generation should have been dropped by retention")
+	}
+}
+
+func TestSubscribeRunsOnEverySwap(t *testing.T) {
+	r := New(obs.NewForTest(), Config{})
+	var gens []uint64
+	r.Subscribe(func(_ *bundle.Bundle, gen uint64) { gens = append(gens, gen) })
+
+	a, _ := r.LoadData(bundleJSON(t, 1), "mem://a")
+	b, _ := r.LoadData(bundleJSON(t, 2), "mem://b")
+	r.Promote(a.ID())
+	r.Promote(b.ID())
+	r.Rollback()
+
+	want := []uint64{a.ID(), b.ID(), a.ID()}
+	if len(gens) != len(want) {
+		t.Fatalf("subscriber saw %v, want %v", gens, want)
+	}
+	for i := range want {
+		if gens[i] != want[i] {
+			t.Fatalf("subscriber saw %v, want %v", gens, want)
+		}
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bundle.json")
+	if err := os.WriteFile(path, bundleJSON(t, 7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(obs.NewForTest(), Config{})
+	g, err := r.Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if g.Source() != path {
+		t.Fatalf("source = %q, want %q", g.Source(), path)
+	}
+	if _, err := r.Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("loading a missing file should fail")
+	}
+}
+
+func TestLatestStaged(t *testing.T) {
+	r := New(obs.NewForTest(), Config{})
+	if r.LatestStaged() != nil {
+		t.Fatal("empty registry has no staged generation")
+	}
+	a, _ := r.LoadData(bundleJSON(t, 1), "mem://a")
+	b, _ := r.LoadData(bundleJSON(t, 2), "mem://b")
+	if got := r.LatestStaged(); got == nil || got.ID() != b.ID() {
+		t.Fatalf("LatestStaged = %v, want generation %d", got, b.ID())
+	}
+	r.Promote(b.ID())
+	if got := r.LatestStaged(); got == nil || got.ID() != a.ID() {
+		t.Fatalf("LatestStaged after promote = %v, want generation %d", got, a.ID())
+	}
+}

@@ -1,0 +1,133 @@
+package registry
+
+import (
+	"context"
+	"os"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+// Watcher polls a bundle file and feeds changed content through the
+// registry: mtime+size change detection, a one-poll debounce (the file must
+// look identical on two consecutive polls before it is read, so a writer
+// mid-copy is never loaded), content-hash deduplication (via the registry),
+// and auto-promotion of successfully staged generations. Invalid content is
+// rejected and remembered, so a bad artifact is logged once, never retried
+// in a loop, and never disturbs the active generation.
+type Watcher struct {
+	reg      *Registry
+	o        *obs.Obs
+	path     string
+	interval time.Duration
+
+	// lastApplied is the stat signature of the content most recently
+	// loaded (or rejected); pending is a changed signature awaiting its
+	// stability confirmation on the next poll.
+	lastApplied fileSig
+	pending     *fileSig
+
+	polls   *obs.Counter
+	reloads *obs.Counter // {status: promoted|invalid|duplicate}
+}
+
+// fileSig is the cheap change-detection signature of the watched file.
+type fileSig struct {
+	modTime time.Time
+	size    int64
+}
+
+// NewWatcher builds a watcher over path with the given poll interval
+// (values below 100ms are clamped up to keep stat traffic sane; tests use
+// SetInterval to go faster).
+func NewWatcher(reg *Registry, o *obs.Obs, path string, interval time.Duration) *Watcher {
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	return &Watcher{
+		reg:      reg,
+		o:        o,
+		path:     path,
+		interval: interval,
+		polls: o.Registry.Counter("pmlmpi_watcher_polls_total",
+			"Bundle-watcher poll cycles."),
+		reloads: o.Registry.Counter("pmlmpi_watcher_reloads_total",
+			"Bundle-watcher reload attempts after a stable file change, by outcome.", "status"),
+	}
+}
+
+// SetInterval overrides the poll interval without clamping — for tests.
+func (w *Watcher) SetInterval(d time.Duration) { w.interval = d }
+
+// Run polls until ctx is cancelled. The first stable sighting of the file
+// goes through the registry like any change; content the server already
+// loaded at startup dedups by hash into a no-op, so there is no startup
+// race between the initial load and a concurrent overwrite.
+func (w *Watcher) Run(ctx context.Context) {
+	w.o.Logger.Info("bundle watcher started",
+		"path", w.path, "interval", w.interval.String())
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			w.o.Logger.Info("bundle watcher stopped", "path", w.path)
+			return
+		case <-t.C:
+			w.poll()
+		}
+	}
+}
+
+func (w *Watcher) poll() {
+	w.polls.Inc()
+	fi, err := os.Stat(w.path)
+	if err != nil {
+		// A transiently missing file (atomic-rename writers) is not a
+		// change; just wait for it to reappear.
+		w.pending = nil
+		return
+	}
+	sig := fileSig{modTime: fi.ModTime(), size: fi.Size()}
+	if sig == w.lastApplied {
+		w.pending = nil
+		return
+	}
+	if w.pending == nil || *w.pending != sig {
+		// First sight of this change (or it is still mutating): wait one
+		// more interval for the file to settle.
+		w.pending = &sig
+		return
+	}
+	// Stable across two polls: adopt it.
+	w.pending = nil
+	w.lastApplied = sig
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		w.reloads.Inc("invalid")
+		w.o.Logger.Warn("bundle watcher read failed", "path", w.path, "error", err.Error())
+		return
+	}
+	gen, err := w.reg.LoadData(data, w.path)
+	if err != nil {
+		// Rejected: the active generation is untouched, and lastApplied
+		// already records this content so it is not retried every poll.
+		w.reloads.Inc("invalid")
+		w.o.Logger.Warn("bundle watcher rejected changed bundle",
+			"path", w.path, "error", err.Error())
+		return
+	}
+	if active := w.reg.ActiveGeneration(); active != nil && active.ID() == gen.ID() {
+		w.reloads.Inc("duplicate")
+		return
+	}
+	if _, err := w.reg.Promote(gen.ID()); err != nil {
+		w.reloads.Inc("invalid")
+		w.o.Logger.Warn("bundle watcher promote failed",
+			"generation", gen.ID(), "error", err.Error())
+		return
+	}
+	w.reloads.Inc("promoted")
+	w.o.Logger.Info("bundle watcher promoted changed bundle",
+		"path", w.path, "generation", gen.ID(), "hash", gen.Bundle().ShortHash())
+}

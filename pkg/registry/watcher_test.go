@@ -1,0 +1,108 @@
+package registry
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestWatcherPromotesChangedBundleAndRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bundle.json")
+	if err := os.WriteFile(path, bundleJSON(t, 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	o := obs.NewForTest()
+	r := New(o, Config{})
+	g1, err := r.Load(path)
+	if err != nil {
+		t.Fatalf("initial load: %v", err)
+	}
+	if _, err := r.Promote(g1.ID()); err != nil {
+		t.Fatalf("initial promote: %v", err)
+	}
+
+	w := NewWatcher(r, o, path, time.Second)
+	w.SetInterval(5 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+
+	// Overwrite with new valid content: the watcher must stage and promote
+	// it (after the one-poll debounce).
+	if err := os.WriteFile(path, bundleJSON(t, 2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "watcher to promote the changed bundle", func() bool {
+		_, gen := r.Active()
+		return gen > g1.ID()
+	})
+	_, gen2 := r.Active()
+
+	// Overwrite with garbage: the watcher must reject it and leave the
+	// active generation untouched.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "watcher to observe and reject the garbage", func() bool {
+		return w.reloads.Value("invalid") >= 1
+	})
+	if _, gen := r.Active(); gen != gen2 {
+		t.Fatalf("garbage content changed active generation from %d to %d", gen2, gen)
+	}
+
+	// Recover with a third valid bundle: promotion resumes.
+	if err := os.WriteFile(path, bundleJSON(t, 3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "watcher to promote the recovery bundle", func() bool {
+		_, gen := r.Active()
+		return gen > gen2
+	})
+}
+
+func TestWatcherIgnoresUnchangedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bundle.json")
+	if err := os.WriteFile(path, bundleJSON(t, 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewForTest()
+	r := New(o, Config{})
+	g, _ := r.Load(path)
+	r.Promote(g.ID())
+
+	w := NewWatcher(r, o, path, time.Second)
+	w.SetInterval(2 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+
+	waitFor(t, 5*time.Second, "a few poll cycles", func() bool {
+		return w.polls.Value() >= 5
+	})
+	if n := w.reloads.Value("promoted"); n != 0 {
+		t.Fatalf("watcher reloaded %v times with an unchanged file", n)
+	}
+	if _, gen := r.Active(); gen != g.ID() {
+		t.Fatalf("active generation drifted to %d", gen)
+	}
+}

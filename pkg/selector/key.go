@@ -5,18 +5,22 @@ import (
 	"math"
 )
 
-// featureKey derives the decision-cache key: the collective name, a NUL
-// separator, then each feature of the ordered vector quantized to the
-// given step and encoded as a fixed-width integer. Quantization makes
-// near-identical float inputs (e.g. 48.0 vs 48.0000004) share a cache
-// line; non-finite values fall back to their raw bit pattern so they still
-// key deterministically instead of tripping float→int conversion edge
-// cases.
-func featureKey(collective string, x []float64, quantum float64) string {
-	buf := make([]byte, 0, len(collective)+1+8*len(x))
+// featureKey derives the decision-cache key: the model generation id (so a
+// hot-swap can never serve a decision computed by a previous generation —
+// promoted and even rolled-back generations each address their own key
+// space), the collective name, a NUL separator, then each feature of the
+// ordered vector quantized to the given step and encoded as a fixed-width
+// integer. Quantization makes near-identical float inputs (e.g. 48.0 vs
+// 48.0000004) share a cache line; non-finite values fall back to their raw
+// bit pattern so they still key deterministically instead of tripping
+// float→int conversion edge cases.
+func featureKey(gen uint64, collective string, x []float64, quantum float64) string {
+	buf := make([]byte, 0, 8+len(collective)+1+8*len(x))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], gen)
+	buf = append(buf, tmp[:]...)
 	buf = append(buf, collective...)
 	buf = append(buf, 0)
-	var tmp [8]byte
 	for _, v := range x {
 		var q uint64
 		if math.IsNaN(v) || math.IsInf(v, 0) {

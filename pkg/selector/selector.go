@@ -38,6 +38,11 @@ type Decision struct {
 	Probs      []float64          `json:"probs"`
 	Votes      []int              `json:"votes"`
 	LatencyNS  int64              `json:"latency_ns"`
+	// Generation is the model generation that produced this decision (0
+	// when serving from a static, registry-less source). Because cache keys
+	// are generation-prefixed, a cached decision's generation always
+	// matches the generation whose forest computed it.
+	Generation uint64 `json:"generation,omitempty"`
 	// Cached is true when the decision was served from the feature-keyed
 	// decision cache instead of a fresh forest evaluation.
 	Cached bool `json:"cached,omitempty"`
@@ -67,17 +72,25 @@ type Config struct {
 	// with at least this many trees (0 disables it — the default — since
 	// goroutine fan-out only pays off for large ensembles).
 	ParallelTreeThreshold int
+	// Shadow, when non-nil, receives every completed decision so a staged
+	// candidate model can be evaluated against live traffic off the
+	// response path (see the registry package).
+	Shadow ShadowSink
 }
 
-// Selector performs instrumented algorithm selection over a loaded bundle.
+// Selector performs instrumented algorithm selection over the active bundle
+// of a Source. The bundle can be hot-swapped under it: every Select reads
+// the (bundle, generation) pair once with a single atomic load, so each
+// decision is internally consistent even while a promotion is in flight.
 type Selector struct {
-	b          *bundle.Bundle
+	src        Source
 	o          *obs.Obs
 	algorithms map[string][]string
 	ring       *decisionRing
 	cache      *cache.Cache
 	quantum    float64
 	agg        *analytics.Aggregator
+	shadow     ShadowSink
 
 	batchWorkers  int
 	parallelTrees int
@@ -88,6 +101,14 @@ type Selector struct {
 	duration   *obs.Histogram
 	batches    *obs.Counter
 	batchSize  *obs.Histogram
+
+	// Per-bundle instruments, re-pointed at each generation swap.
+	gLoaded    *obs.Gauge
+	gSize      *obs.Gauge
+	gTrained   *obs.Gauge
+	gTrees     *obs.Gauge
+	hPredict   *obs.Histogram
+	swapsTotal *obs.Counter
 }
 
 // Select-duration path label values: a cold selection walks the forest, a
@@ -100,10 +121,20 @@ const (
 // batchSizeBuckets are the histogram buckets for SelectBatch request sizes.
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
-// New builds a Selector over a validated bundle, registering its
-// instruments (selection counter, error counter, prediction-latency
-// histogram, bundle gauges) in o's registry.
+// New builds a Selector over a fixed, validated bundle — shorthand for
+// NewFromSource(Static(b), ...) for tests and single-model deployments.
 func New(b *bundle.Bundle, o *obs.Obs, cfg Config) *Selector {
+	return NewFromSource(Static(b), o, cfg)
+}
+
+// NewFromSource builds a Selector over a swappable bundle source,
+// registering its instruments (selection counter, error counter,
+// prediction-latency histogram, bundle gauges) in o's registry. It
+// instruments the source's current active bundle (if any) and subscribes to
+// swaps: each promotion re-points the bundle gauges, instruments the new
+// generation's forests, and flushes the decision cache (generation-prefixed
+// keys already make old entries unreachable; the flush reclaims them).
+func NewFromSource(src Source, o *obs.Obs, cfg Config) *Selector {
 	algos := cfg.Algorithms
 	if algos == nil {
 		algos = DefaultAlgorithms
@@ -122,7 +153,7 @@ func New(b *bundle.Bundle, o *obs.Obs, cfg Config) *Selector {
 	}
 	reg := o.Registry
 	s := &Selector{
-		b:             b,
+		src:           src,
 		o:             o,
 		algorithms:    algos,
 		ring:          newDecisionRing(cfg.RingSize),
@@ -131,7 +162,8 @@ func New(b *bundle.Bundle, o *obs.Obs, cfg Config) *Selector {
 		batchWorkers:  workers,
 		parallelTrees: cfg.ParallelTreeThreshold,
 		treeWorkers:   treeWorkers,
-		agg: analytics.New(nil),
+		shadow:        cfg.Shadow,
+		agg:           analytics.New(nil),
 		selections: reg.Counter("pmlmpi_selections_total",
 			"Completed algorithm selections.", "collective", "algorithm"),
 		selErrors: reg.Counter("pmlmpi_selection_errors_total",
@@ -143,19 +175,42 @@ func New(b *bundle.Bundle, o *obs.Obs, cfg Config) *Selector {
 			"SelectBatch calls."),
 		batchSize: reg.Histogram("pmlmpi_batch_size_items",
 			"Items per SelectBatch call.", batchSizeBuckets),
+		gLoaded:  reg.Gauge("pmlmpi_bundle_loaded", "1 when a model bundle is loaded."),
+		gSize:    reg.Gauge("pmlmpi_bundle_size_bytes", "Size of the loaded bundle file."),
+		gTrained: reg.Gauge("pmlmpi_bundle_trained_systems", "Systems the bundle was trained on."),
+		gTrees:   reg.Gauge("pmlmpi_bundle_forest_trees", "Trees per collective forest.", "collective"),
+		hPredict: reg.Histogram("pmlmpi_forest_predict_duration_seconds",
+			"Wall time of one forest evaluation.", obs.LatencyBuckets, "collective"),
+		swapsTotal: reg.Counter("pmlmpi_selector_bundle_swaps_total",
+			"Generation swaps observed by the selector."),
 	}
 
-	reg.Gauge("pmlmpi_bundle_loaded", "1 when a model bundle is loaded.").Set(1)
-	reg.Gauge("pmlmpi_bundle_size_bytes", "Size of the loaded bundle file.").Set(float64(b.SizeBytes))
-	reg.Gauge("pmlmpi_bundle_trained_systems", "Systems the bundle was trained on.").Set(float64(len(b.TrainedOn)))
-	trees := reg.Gauge("pmlmpi_bundle_forest_trees", "Trees per collective forest.", "collective")
-	predict := reg.Histogram("pmlmpi_forest_predict_duration_seconds",
-		"Wall time of one forest evaluation.", obs.LatencyBuckets, "collective")
-	for name, c := range b.Collectives {
-		trees.Set(float64(len(c.Forest.Trees)), name)
-		c.Forest.Instrument(predict.Bind(name).Observe)
+	if b, _ := src.Active(); b != nil {
+		s.instrumentBundle(b)
 	}
+	src.Subscribe(func(b *bundle.Bundle, gen uint64) {
+		s.swapsTotal.Inc()
+		s.instrumentBundle(b)
+		if s.cache != nil {
+			flushed := s.cache.Flush()
+			s.o.Logger.Info("decision cache flushed on bundle swap",
+				"generation", gen, "entries_flushed", flushed)
+		}
+	})
 	return s
+}
+
+// instrumentBundle points the per-bundle gauges at b and wires its forests
+// into the predict-latency histogram. Safe to call while other goroutines
+// evaluate b or earlier generations (forest instrumentation is atomic).
+func (s *Selector) instrumentBundle(b *bundle.Bundle) {
+	s.gLoaded.Set(1)
+	s.gSize.Set(float64(b.SizeBytes))
+	s.gTrained.Set(float64(len(b.TrainedOn)))
+	for name, c := range b.Collectives {
+		s.gTrees.Set(float64(len(c.Forest.Trees)), name)
+		c.Forest.Instrument(s.hPredict.Bind(name).Observe)
+	}
 }
 
 // Analytics snapshots the per-collective × per-algorithm selection rollup
@@ -163,8 +218,15 @@ func New(b *bundle.Bundle, o *obs.Obs, cfg Config) *Selector {
 // /debug/analytics.
 func (s *Selector) Analytics() []analytics.Row { return s.agg.Snapshot() }
 
-// Bundle returns the underlying model bundle.
-func (s *Selector) Bundle() *bundle.Bundle { return s.b }
+// Bundle returns the currently active model bundle (nil when the source
+// has no active generation).
+func (s *Selector) Bundle() *bundle.Bundle {
+	b, _ := s.src.Active()
+	return b
+}
+
+// Source returns the bundle source the selector reads from.
+func (s *Selector) Source() Source { return s.src }
 
 // Recent returns up to n recent decisions, newest first (n <= 0 for all).
 func (s *Selector) Recent(n int) []Decision { return s.ring.last(n) }
@@ -191,14 +253,24 @@ func (s *Selector) AlgorithmName(collective string, class int) string {
 // calls when no cache is configured) take the fully traced path: one span
 // per stage, histogram observations, and a structured log record.
 func (s *Selector) Select(ctx context.Context, collective string, features map[string]float64) (*Decision, error) {
+	b, gen := s.src.Active()
+	if b == nil {
+		s.selErrors.Inc(collective, "no_active_bundle")
+		return nil, fmt.Errorf("no active model bundle (registry has nothing promoted)")
+	}
 	if s.cache == nil {
-		return s.selectTraced(ctx, collective, features, nil, time.Time{}, 0)
+		d, err := s.selectTraced(ctx, b, gen, collective, features, nil, time.Time{}, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.offerShadow(collective, features, d)
+		return d, nil
 	}
 	start := time.Now()
-	c, ok := s.b.Collective(collective)
+	c, ok := b.Collective(collective)
 	if !ok {
 		s.selErrors.Inc(collective, "unknown_collective")
-		return nil, fmt.Errorf("unknown collective %q (bundle has %v)", collective, s.b.CollectiveNames())
+		return nil, fmt.Errorf("unknown collective %q (bundle has %v)", collective, b.CollectiveNames())
 	}
 	// Stack buffer for the feature vector: no allocation on the hit path.
 	// Feature subsets never exceed the canonical space (currently 14
@@ -216,7 +288,7 @@ func (s *Selector) Select(ctx context.Context, collective string, features map[s
 		return nil, err
 	}
 	extractDur := time.Since(extractStart)
-	key := featureKey(collective, x, s.quantum)
+	key := featureKey(gen, collective, x, s.quantum)
 	if v, ok := s.cache.Get(key); ok {
 		e := v.(cachedEntry)
 		reqID := obs.RequestIDFrom(ctx)
@@ -245,9 +317,10 @@ func (s *Selector) Select(ctx context.Context, collective string, features map[s
 				"class":      d.Class,
 			})
 		}
+		s.offerShadow(collective, features, &d)
 		return &d, nil
 	}
-	d, err := s.selectTraced(ctx, collective, features, x, extractStart, extractDur)
+	d, err := s.selectTraced(ctx, b, gen, collective, features, x, extractStart, extractDur)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +332,17 @@ func (s *Selector) Select(ctx context.Context, collective string, features map[s
 		lat:  s.duration.Bind(collective, PathCacheHit),
 		cell: s.agg.Cell(collective, d.Algorithm),
 	})
+	s.offerShadow(collective, features, d)
 	return d, nil
+}
+
+// offerShadow forwards a completed decision to the shadow sink, if one is
+// configured. The sink samples and copies internally; when shadowing is
+// idle this is a nil check plus one atomic load.
+func (s *Selector) offerShadow(collective string, features map[string]float64, d *Decision) {
+	if s.shadow != nil {
+		s.shadow.Offer(collective, features, d.Algorithm, d.Class, d.LatencyNS)
+	}
 }
 
 // cachedEntry is the decision-cache payload: the memoized decision plus
@@ -271,22 +354,23 @@ type cachedEntry struct {
 	cell *analytics.Cell
 }
 
-// selectTraced is the fully instrumented selection path. A non-nil x is a
+// selectTraced is the fully instrumented selection path, evaluating against
+// the (b, gen) snapshot its caller read from the source. A non-nil x is a
 // pre-extracted feature vector (cache-miss path): extraction already ran to
 // build the cache key, so instead of a live feature.extract span its
 // measured timing (extractStart/extractDur) is backfilled into the sampled
 // trace, keeping miss span trees as complete as cache-less ones.
-func (s *Selector) selectTraced(ctx context.Context, collective string, features map[string]float64, x []float64, extractStart time.Time, extractDur time.Duration) (*Decision, error) {
+func (s *Selector) selectTraced(ctx context.Context, b *bundle.Bundle, gen uint64, collective string, features map[string]float64, x []float64, extractStart time.Time, extractDur time.Duration) (*Decision, error) {
 	ctx, reqID := obs.WithRequestID(ctx, obs.RequestIDFrom(ctx))
 	ctx, decide := s.o.Tracer.Start(ctx, "selector.decide")
 	decide.SetAttr("collective", collective)
 	start := time.Now()
 
-	c, ok := s.b.Collective(collective)
+	c, ok := b.Collective(collective)
 	if !ok {
 		decide.End()
 		s.selErrors.Inc(collective, "unknown_collective")
-		return nil, fmt.Errorf("unknown collective %q (bundle has %v)", collective, s.b.CollectiveNames())
+		return nil, fmt.Errorf("unknown collective %q (bundle has %v)", collective, b.CollectiveNames())
 	}
 
 	if x == nil {
@@ -332,6 +416,7 @@ func (s *Selector) selectTraced(ctx context.Context, collective string, features
 		Probs:      pred.Probs,
 		Votes:      pred.Votes,
 		LatencyNS:  elapsed.Nanoseconds(),
+		Generation: gen,
 	}
 	s.ring.add(d)
 

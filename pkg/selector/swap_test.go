@@ -1,0 +1,207 @@
+package selector
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/cache"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/synth"
+)
+
+// swapSource is a minimal swappable Source for tests: the registry without
+// the registry. swap() installs a new (bundle, generation) pair and fans it
+// out to subscribers, exactly like a promote.
+type swapSource struct {
+	mu   sync.Mutex
+	b    *bundle.Bundle
+	gen  uint64
+	subs []func(*bundle.Bundle, uint64)
+}
+
+func (s *swapSource) Active() (*bundle.Bundle, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b, s.gen
+}
+
+func (s *swapSource) Subscribe(fn func(*bundle.Bundle, uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs = append(s.subs, fn)
+}
+
+func (s *swapSource) swap(b *bundle.Bundle, gen uint64) {
+	s.mu.Lock()
+	s.b = b
+	s.gen = gen
+	subs := append([]func(*bundle.Bundle, uint64){}, s.subs...)
+	s.mu.Unlock()
+	for _, fn := range subs {
+		fn(b, gen)
+	}
+}
+
+func synthBundle(t *testing.T, seed int64) *bundle.Bundle {
+	t.Helper()
+	data, err := synth.JSON(synth.Config{Seed: seed})
+	if err != nil {
+		t.Fatalf("synth.JSON: %v", err)
+	}
+	b, err := bundle.Parse(data)
+	if err != nil {
+		t.Fatalf("bundle.Parse: %v", err)
+	}
+	return b
+}
+
+// predictClass evaluates b's forest for the collective directly, bypassing
+// the selector, to establish ground truth per bundle.
+func predictClass(t *testing.T, b *bundle.Bundle, collective string, features map[string]float64) int {
+	t.Helper()
+	c, ok := b.Collective(collective)
+	if !ok {
+		t.Fatalf("bundle has no collective %q", collective)
+	}
+	x, err := c.Vector(features)
+	if err != nil {
+		t.Fatalf("vector: %v", err)
+	}
+	pred, err := c.Forest.Predict(x)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	return pred.Class
+}
+
+// TestPromoteMidStreamServesNoStaleDecision is the stale-cache regression
+// test for bundle hot-swap: warm the decision cache on generation A, swap to
+// generation B, and assert every subsequent decision comes from B — correct
+// generation tag, B's class (hence B's algorithm), never a cached answer
+// computed by A. Points where A and B genuinely disagree are required, so a
+// stale entry cannot hide behind coincidental agreement.
+func TestPromoteMidStreamServesNoStaleDecision(t *testing.T) {
+	const collective = "allgather"
+	bundleA := synthBundle(t, 41)
+	bundleB := synthBundle(t, 42)
+
+	// Find ground truth for both bundles; demand at least one disagreement
+	// so the assertion below has teeth.
+	points := synth.Points(17, 64)
+	classA := make([]int, len(points))
+	classB := make([]int, len(points))
+	disagreements := 0
+	for i, p := range points {
+		classA[i] = predictClass(t, bundleA, collective, p)
+		classB[i] = predictClass(t, bundleB, collective, p)
+		if classA[i] != classB[i] {
+			disagreements++
+		}
+	}
+	if disagreements == 0 {
+		t.Fatal("seeds 41/42 produce identical predictions on every point; pick different seeds")
+	}
+
+	src := &swapSource{b: bundleA, gen: 1}
+	o := obs.NewForTest()
+	c := cache.New(cache.Config{MaxEntries: 1024}, o.Registry)
+	s := NewFromSource(src, o, Config{Cache: c})
+	ctx := context.Background()
+
+	// Warm the cache on generation A: every point selected twice so the
+	// second pass is served from cache.
+	for pass := 0; pass < 2; pass++ {
+		for i, p := range points {
+			d, err := s.Select(ctx, collective, p)
+			if err != nil {
+				t.Fatalf("pre-swap Select: %v", err)
+			}
+			if d.Generation != 1 || d.Class != classA[i] {
+				t.Fatalf("pre-swap decision = gen %d class %d, want gen 1 class %d",
+					d.Generation, d.Class, classA[i])
+			}
+		}
+	}
+	if st, ok := s.CacheStats(); !ok || st.Hits == 0 {
+		t.Fatalf("cache never hit during warmup: %+v", st)
+	}
+
+	// Promote B mid-stream.
+	src.swap(bundleB, 2)
+
+	for i, p := range points {
+		d, err := s.Select(ctx, collective, p)
+		if err != nil {
+			t.Fatalf("post-swap Select: %v", err)
+		}
+		if d.Generation != 2 {
+			t.Fatalf("post-swap decision tagged generation %d, want 2", d.Generation)
+		}
+		if d.Class != classB[i] {
+			t.Fatalf("post-swap decision class %d, want %d (A would say %d) — stale cache entry served",
+				d.Class, classB[i], classA[i])
+		}
+		if want := s.AlgorithmName(collective, classB[i]); d.Algorithm != want {
+			t.Fatalf("post-swap algorithm %q, want %q", d.Algorithm, want)
+		}
+	}
+
+	// SelectBatch must obey the same invariant.
+	reqs := make([]BatchRequest, len(points))
+	for i, p := range points {
+		reqs[i] = BatchRequest{Collective: collective, Features: p}
+	}
+	for i, res := range s.SelectBatch(ctx, reqs) {
+		if res.Err != nil {
+			t.Fatalf("post-swap batch item %d: %v", i, res.Err)
+		}
+		if res.Decision.Generation != 2 || res.Decision.Class != classB[i] {
+			t.Fatalf("post-swap batch decision = gen %d class %d, want gen 2 class %d",
+				res.Decision.Generation, res.Decision.Class, classB[i])
+		}
+	}
+
+	// Swapping back to A (a rollback) serves A's answers again — its old
+	// generation-1 cache entries, if still resident, are valid for it.
+	src.swap(bundleA, 1)
+	for i, p := range points {
+		d, err := s.Select(ctx, collective, p)
+		if err != nil {
+			t.Fatalf("post-rollback Select: %v", err)
+		}
+		if d.Generation != 1 || d.Class != classA[i] {
+			t.Fatalf("post-rollback decision = gen %d class %d, want gen 1 class %d",
+				d.Generation, d.Class, classA[i])
+		}
+	}
+}
+
+// TestSwapFlushesCacheAndCountsSwaps checks the subscriber side effects of a
+// promote: the swap counter increments and the decision cache is flushed
+// (old entries reclaimed eagerly, not just made unreachable).
+func TestSwapFlushesCacheAndCountsSwaps(t *testing.T) {
+	src := &swapSource{b: synthBundle(t, 41), gen: 1}
+	o := obs.NewForTest()
+	c := cache.New(cache.Config{MaxEntries: 1024}, o.Registry)
+	s := NewFromSource(src, o, Config{Cache: c})
+
+	points := synth.Points(5, 16)
+	for _, p := range points {
+		if _, err := s.Select(context.Background(), "alltoall", p); err != nil {
+			t.Fatalf("Select: %v", err)
+		}
+	}
+	if st, _ := s.CacheStats(); st.Entries == 0 {
+		t.Fatal("cache is empty after warmup")
+	}
+	src.swap(synthBundle(t, 42), 2)
+	if st, _ := s.CacheStats(); st.Entries != 0 {
+		t.Fatalf("cache holds %d entries after swap, want 0 (flushed)", st.Entries)
+	}
+
+	if got := s.swapsTotal.Value(); got != 1 {
+		t.Fatalf("swap counter = %v, want 1", got)
+	}
+}
