@@ -1,0 +1,82 @@
+package bundle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Encode renders the bundle into its canonical on-disk JSON form — the
+// exact format Parse accepts — after re-running full validation, so an
+// emitted artifact can never be one the loader would reject. Encoding is
+// deterministic (object keys sort lexicographically, floats use Go's
+// shortest round-trip form), which gives the byte-faithful guarantee the
+// training pipeline relies on: Encode → Parse → Encode reproduces
+// identical bytes, and therefore an identical content hash.
+func (b *Bundle) Encode() ([]byte, error) {
+	version := b.Version
+	if version == "" {
+		version = SupportedVersion
+	}
+	if version != SupportedVersion {
+		return nil, fmt.Errorf("encode: unsupported bundle version %q (this build writes %q)", version, SupportedVersion)
+	}
+	if len(b.Collectives) == 0 {
+		return nil, fmt.Errorf("encode: bundle contains no collectives")
+	}
+	doc := make(map[string]any, len(b.Collectives)+2)
+	doc["version"] = version
+	if len(b.TrainedOn) > 0 {
+		doc["trained_on"] = b.TrainedOn
+	}
+	for name, c := range b.Collectives {
+		if name == "version" || name == "trained_on" {
+			return nil, fmt.Errorf("encode: collective name %q collides with a reserved bundle key", name)
+		}
+		if err := validateCollective(c); err != nil {
+			return nil, fmt.Errorf("encode: collective %q: %w", name, err)
+		}
+		doc[name] = c
+	}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	return data, nil
+}
+
+// WriteFile encodes the bundle and writes it atomically: the bytes land
+// in a temporary file in the destination directory, then rename into
+// place. A watcher polling the path therefore only ever sees the old
+// content or the complete new content, never a partial write. Returns the
+// encoded bytes so callers can hash or log what actually shipped.
+func (b *Bundle) WriteFile(path string) ([]byte, error) {
+	data, err := b.Encode()
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("write bundle: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".bundle-*.json.tmp")
+	if err != nil {
+		return nil, fmt.Errorf("write bundle: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return nil, fmt.Errorf("write bundle: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return nil, fmt.Errorf("write bundle: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return nil, fmt.Errorf("write bundle: %w", err)
+	}
+	return data, nil
+}

@@ -1,0 +1,171 @@
+package bundle
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEncodeRoundTripsParsedBundle: parsing any valid bundle and encoding
+// it yields bytes Parse accepts again, and the second round trip is
+// byte-identical (the canonical-form fixed point).
+func TestEncodeRoundTripsParsedBundle(t *testing.T) {
+	b, err := Parse([]byte(minimalBundle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := b.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	reparsed, err := Parse(first)
+	if err != nil {
+		t.Fatalf("Parse of encoded bundle: %v", err)
+	}
+	second, err := reparsed.Encode()
+	if err != nil {
+		t.Fatalf("second Encode: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("Encode -> Parse -> Encode is not a fixed point")
+	}
+	if reparsed.Hash != mustParseHash(t, first) {
+		t.Fatal("reparsed hash does not match encoded bytes")
+	}
+	if len(reparsed.TrainedOn) != 2 || reparsed.TrainedOn[0] != "SysA" {
+		t.Errorf("trained_on lost in round trip: %v", reparsed.TrainedOn)
+	}
+}
+
+func mustParseHash(t *testing.T, data []byte) string {
+	t.Helper()
+	b, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Hash
+}
+
+// TestEncodeRealBundle: the shipped production bundle survives a parse →
+// encode → parse cycle with every collective intact.
+func TestEncodeRealBundle(t *testing.T) {
+	b, err := Load(realBundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	b2, err := Parse(data)
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	for name, c := range b.Collectives {
+		c2, ok := b2.Collectives[name]
+		if !ok {
+			t.Fatalf("collective %q lost in round trip", name)
+		}
+		if len(c2.Forest.Trees) != len(c.Forest.Trees) || c2.Forest.NClasses != c.Forest.NClasses {
+			t.Errorf("%s: forest shape changed (%d/%d -> %d/%d)", name,
+				len(c.Forest.Trees), c.Forest.NClasses, len(c2.Forest.Trees), c2.Forest.NClasses)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	valid, err := Parse([]byte(minimalBundle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Bundle)
+		wantErr string
+	}{
+		{"no collectives", func(b *Bundle) { b.Collectives = nil }, "no collectives"},
+		{"wrong version", func(b *Bundle) { b.Version = "pml-mpi/9" }, "unsupported bundle version"},
+		{"reserved name", func(b *Bundle) {
+			b.Collectives["version"] = b.Collectives["allgather"]
+		}, "reserved bundle key"},
+		{"invalid collective", func(b *Bundle) {
+			b.Collectives["allgather"].Forest = nil
+		}, "missing forest"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := Parse([]byte(minimalBundle))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(b)
+			if _, err := b.Encode(); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+	// The untouched bundle still encodes.
+	if _, err := valid.Encode(); err != nil {
+		t.Fatalf("valid bundle failed to encode: %v", err)
+	}
+}
+
+// TestEncodeEmptyVersionDefaults: a bundle assembled in memory (trainer
+// path) with no version set encodes as the supported version.
+func TestEncodeEmptyVersionDefaults(t *testing.T) {
+	b, err := Parse([]byte(minimalBundle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Version = ""
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Version != SupportedVersion {
+		t.Errorf("version = %q, want %q", rb.Version, SupportedVersion)
+	}
+}
+
+func TestWriteFileAtomicAndLoadable(t *testing.T) {
+	b, err := Parse([]byte(minimalBundle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "bundle.json")
+	data, err := b.WriteFile(path)
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, onDisk) {
+		t.Fatal("WriteFile returned bytes that differ from the file")
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load of written bundle: %v", err)
+	}
+	if loaded.Hash != mustParseHash(t, data) {
+		t.Fatal("loaded hash mismatch")
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "bundle.json" {
+			t.Errorf("unexpected file %q left in bundle dir", e.Name())
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package bundle
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const trainedFixture = "testdata/trained_small.json"
+
+// TestTrainedFixtureLoadsAndRoundTrips pins the committed trainer-emitted
+// bundle: it must keep parsing, validating, and re-encoding byte-for-byte
+// as the format evolves, so trained artifacts written by older releases
+// stay loadable.
+func TestTrainedFixtureLoadsAndRoundTrips(t *testing.T) {
+	b, err := Load(trainedFixture)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", trainedFixture, err)
+	}
+	if b.Version != SupportedVersion {
+		t.Errorf("version %q, want %q", b.Version, SupportedVersion)
+	}
+	for _, name := range []string{"allgather", "broadcast"} {
+		c, ok := b.Collectives[name]
+		if !ok {
+			t.Fatalf("fixture missing collective %q", name)
+		}
+		if c.CVAUC <= 0 || c.CVAUC > 1 {
+			t.Errorf("%s: OOB/cv score %v outside (0,1]", name, c.CVAUC)
+		}
+	}
+	if len(b.TrainedOn) != 3 {
+		t.Errorf("trained_on %v, want the three perfmodel systems", b.TrainedOn)
+	}
+	raw, err := os.ReadFile(trainedFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := b.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.Equal(raw, again) {
+		t.Fatal("committed trained fixture is not in canonical encoding (Load -> Encode changed bytes)")
+	}
+}
+
+// TestTrainedFixtureFuzzSeedInSync keeps the FuzzParse seed-corpus copy of
+// the trained fixture identical to the fixture itself.
+func TestTrainedFixtureFuzzSeedInSync(t *testing.T) {
+	corpus, err := os.ReadFile("testdata/fuzz/FuzzParse/seed_trained_small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(corpus)
+	const pre = "go test fuzz v1\n[]byte("
+	if !strings.HasPrefix(s, pre) {
+		t.Fatalf("corpus entry does not start with %q", pre)
+	}
+	quoted := strings.TrimSuffix(strings.TrimPrefix(s, pre), ")\n")
+	decoded, err := strconv.Unquote(quoted)
+	if err != nil {
+		t.Fatalf("corpus entry payload does not unquote: %v", err)
+	}
+	raw, err := os.ReadFile(trainedFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(decoded), raw) {
+		t.Fatal("seed_trained_small corpus entry is out of sync with testdata/trained_small.json")
+	}
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzTable is the fixed algorithm table both fuzz targets ingest against.
+func fuzzTable() map[string][]string {
+	return map[string][]string{
+		"allgather": {"recursive_doubling", "bruck", "ring"},
+		"alltoall":  {"linear", "pairwise"},
+	}
+}
+
+// checkDataset asserts the invariant every accepted dataset must satisfy:
+// labels within the class table, algorithm names consistent with labels,
+// and validated feature maps.
+func checkDataset(t *testing.T, d *Dataset) {
+	t.Helper()
+	for i := range d.Examples {
+		ex := &d.Examples[i]
+		names, ok := d.Algorithms[ex.Collective]
+		if !ok {
+			t.Fatalf("accepted example %d references unknown collective %q", i, ex.Collective)
+		}
+		if ex.Label < 0 || ex.Label >= len(names) {
+			t.Fatalf("accepted example %d has label %d outside [0,%d)", i, ex.Label, len(names))
+		}
+		if ex.Algorithm != names[ex.Label] {
+			t.Fatalf("accepted example %d: algorithm %q != class %d name %q", i, ex.Algorithm, ex.Label, names[ex.Label])
+		}
+		if err := validateFeatures(ex.Features); err != nil {
+			t.Fatalf("accepted example %d has invalid features: %v", i, err)
+		}
+	}
+}
+
+// FuzzReadJSONL feeds arbitrary bytes to the JSONL row parser. The
+// contract: malformed rows — wrong shapes, NaN/Inf latencies, unknown
+// algorithm or collective names, non-canonical features — yield a
+// line-numbered error, never a panic; anything accepted is fully labeled
+// and validated. Seed corpus lives in testdata/fuzz/FuzzReadJSONL.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(`{"collective":"allgather","features":{"ppn":8},"latency_us":{"ring":2.5,"bruck":1.5}}`)
+	f.Add(`{"collective":"allgather","features":{"ppn":8},"algorithm":"ring"}`)
+	f.Add("# comment\n\n" + `{"collective":"alltoall","features":{"num_nodes":2},"latency_us":{"linear":9}}`)
+	// Malformed shapes:
+	f.Add(`{"collective":"allgather"`)                                                              // truncated
+	f.Add(`{"collective":"allgather","features":{"ppn":8},"latency_us":{"ring":null}}`)             // null latency
+	f.Add(`{"collective":"allgather","features":{"ppn":8},"latency_us":{"hypercube":1}}`)           // unknown algorithm
+	f.Add(`{"collective":"reduce","features":{"ppn":8},"algorithm":"ring"}`)                        // unknown collective
+	f.Add(`{"collective":"allgather","features":{"warp_size":32},"algorithm":"ring"}`)              // non-canonical feature
+	f.Add(`{"collective":"allgather","features":{"ppn":8},"latency_us":{"ring":-1}}`)               // negative latency
+	f.Add(`{"collective":"allgather","features":{"ppn":8},"latency_us":{"ring":1e999}}`)            // overflow → +Inf
+	f.Add(`{"collective":"allgather","features":{"ppn":8},"algorithm":"ring","latency_us":{}}`)     // empty latencies ok w/ label
+	f.Add(`{"collective":"allgather","features":{"ppn":8},"algorithm":"ring","latencies":{"a":1}}`) // unknown field
+	f.Add(`[{"collective":"allgather"}]`)                                                           // array, not object
+
+	f.Fuzz(func(t *testing.T, line string) {
+		d, err := ReadJSONL(strings.NewReader(line), fuzzTable()) // must never panic
+		if err != nil {
+			return
+		}
+		checkDataset(t, d)
+	})
+}
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV ingester: header
+// validation, arity enforcement, and cell parsing must never panic, and
+// accepted rows must be fully labeled. Seed corpus lives in
+// testdata/fuzz/FuzzReadCSV.
+func FuzzReadCSV(f *testing.F) {
+	header := "collective,num_nodes,ppn,lat_ring,lat_bruck\n"
+	f.Add(header + "allgather,4,8,2.5,1.5\n")
+	f.Add(header + "allgather,4,8,,3\n")
+	// Malformed shapes:
+	f.Add("")                                     // no header
+	f.Add("num_nodes,lat_ring\nallgather,1\n")    // collective not first
+	f.Add(header + "allgather,4,8,2.5\n")         // wrong arity (short row)
+	f.Add(header + "allgather,4,8,2.5,1.5,9.9\n") // wrong arity (long row)
+	f.Add(header + "allgather,4,8,NaN,1\n")       // NaN latency
+	f.Add(header + "allgather,4,8,-Inf,1\n")      // -Inf latency
+	f.Add(header + "allgather,x,8,2.5,1.5\n")     // unparsable feature
+	f.Add(header + "reduce,4,8,2.5,1.5\n")        // unknown collective
+	f.Add("collective,num_nodes,lat_\nallgather,4,1\n")
+	f.Add("collective,num_nodes,lat_warp\nallgather,4,1\n") // unknown algorithm
+	f.Add("collective,bogus_feature,lat_ring\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input), fuzzTable()) // must never panic
+		if err != nil {
+			return
+		}
+		checkDataset(t, d)
+	})
+}

@@ -22,9 +22,13 @@ import (
 // DefaultAlgorithms maps each collective's class index to a human-readable
 // algorithm name (Open MPI tuned-collective algorithm families). Classes
 // beyond the table fall back to "class_<n>".
+// Class order must stay aligned with pkg/perfmodel's candidate lists for
+// the collectives both sides know (pinned by a perfmodel test): natively
+// trained bundles encode perfmodel class indices.
 var DefaultAlgorithms = map[string][]string{
 	"allgather": {"recursive_doubling", "bruck", "ring", "neighbor_exchange"},
 	"alltoall":  {"linear", "pairwise", "modified_bruck", "linear_sync", "two_proc"},
+	"broadcast": {"binomial_tree", "pipeline", "scatter_allgather"},
 }
 
 // Decision records one completed selection, as surfaced on /debug/decisions.

@@ -14,6 +14,8 @@ import (
 
 	"github.com/pml-mpi/pmlmpi/pkg/bundle"
 	"github.com/pml-mpi/pmlmpi/pkg/forest"
+	"github.com/pml-mpi/pmlmpi/pkg/perfmodel"
+	"github.com/pml-mpi/pmlmpi/pkg/train"
 )
 
 // Config shapes a synthetic bundle. The zero value is usable: it yields a
@@ -36,6 +38,15 @@ type Config struct {
 	Classes int
 	// TrainedOn is the number of synthetic provenance systems (default 3).
 	TrainedOn int
+	// Labeled switches generation from random trees to a genuinely trained
+	// bundle: a reduced perfmodel sweep labels points by analytical argmin
+	// cost and a random forest is trained on them, so tree structure and
+	// decisions reflect real regime boundaries instead of noise. Every
+	// collective must be supported by pkg/perfmodel. Features, Classes, and
+	// TrainedOn are ignored in this mode — the feature set is the full
+	// canonical space, class counts come from the perfmodel algorithm
+	// table, and provenance records the swept systems.
+	Labeled bool
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +78,9 @@ func (c Config) withDefaults() Config {
 // bundle.Parse expects. Deterministic for a given Config.
 func JSON(cfg Config) ([]byte, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Labeled {
+		return labeledJSON(cfg)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	doc := make(map[string]any, len(cfg.Collectives)+2)
@@ -84,6 +98,39 @@ func JSON(cfg Config) ([]byte, error) {
 		doc[name] = genCollective(rng, cfg, op)
 	}
 	return json.MarshalIndent(doc, "", " ")
+}
+
+// labeledJSON builds a Labeled-mode bundle: analytical sweep → forest
+// training → canonical encoding. The sweep grid is reduced relative to
+// perfmodel's default so test-path generation stays fast (~100ms) while
+// still spanning every cost regime.
+func labeledJSON(cfg Config) ([]byte, error) {
+	for _, name := range cfg.Collectives {
+		if _, err := perfmodel.AlgorithmNames(name); err != nil {
+			return nil, fmt.Errorf("synth: labeled mode: %w", err)
+		}
+	}
+	ds, err := perfmodel.Sweep(perfmodel.SweepConfig{
+		Collectives:  cfg.Collectives,
+		Nodes:        []float64{1, 2, 4, 8, 16, 32},
+		PPN:          []float64{1, 4, 16},
+		Log2MsgSizes: []float64{2, 6, 10, 14, 18, 22},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("synth: labeled sweep: %w", err)
+	}
+	trainedOn := make([]string, len(perfmodel.DefaultSystems))
+	for i, sys := range perfmodel.DefaultSystems {
+		trainedOn[i] = "perfmodel/" + sys.Name
+	}
+	b, _, err := train.TrainBundle(ds, train.BundleConfig{
+		Config:    train.Config{Trees: cfg.Trees, MaxDepth: cfg.Depth, Seed: cfg.Seed},
+		TrainedOn: trainedOn,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("synth: labeled training: %w", err)
+	}
+	return b.Encode()
 }
 
 // New generates a synthetic bundle and loads it through bundle.Parse, so

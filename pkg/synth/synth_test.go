@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/perfmodel"
 )
 
 func TestJSONIsDeterministic(t *testing.T) {
@@ -108,5 +109,83 @@ func TestSyntheticPredictionsWork(t *testing.T) {
 		if pred.Class < 0 || pred.Class >= c.Forest.NClasses {
 			t.Errorf("%s: class %d out of range", name, pred.Class)
 		}
+	}
+}
+
+// TestLabeledModeTrainsRealBundle: Labeled routes generation through the
+// analytical perfmodel and the trainer, so the bundle's decisions track
+// real cost-regime boundaries and its class counts match the perfmodel
+// algorithm table (Features/Classes knobs are ignored).
+func TestLabeledModeTrainsRealBundle(t *testing.T) {
+	b, err := New(Config{Seed: 7, Labeled: true, Trees: 8, Depth: 8, Classes: 99, Features: 2})
+	if err != nil {
+		t.Fatalf("New(Labeled): %v", err)
+	}
+	for _, name := range []string{"allgather", "alltoall"} {
+		c, ok := b.Collectives[name]
+		if !ok {
+			t.Fatalf("labeled bundle missing default collective %q", name)
+		}
+		algos, err := perfmodel.AlgorithmNames(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Forest.NClasses != len(algos) {
+			t.Errorf("%s: NClasses %d, want perfmodel table size %d", name, c.Forest.NClasses, len(algos))
+		}
+		if len(c.Features) != len(bundle.CanonicalFeatures) {
+			t.Errorf("%s: feature subset %d, want full canonical space %d", name, len(c.Features), len(bundle.CanonicalFeatures))
+		}
+	}
+
+	// Decisions reflect analytical regimes: on a labeled sweep grid point,
+	// the trained bundle should usually agree with the oracle.
+	ds, err := perfmodel.Sweep(perfmodel.SweepConfig{
+		Collectives:  []string{"allgather"},
+		Nodes:        []float64{2, 8, 32},
+		PPN:          []float64{4, 16},
+		Log2MsgSizes: []float64{4, 12, 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := b.Collectives["allgather"]
+	agree := 0
+	for i := range ds.Examples {
+		ex := &ds.Examples[i]
+		x, err := c.Vector(ex.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := c.Forest.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred.Class == ex.Label {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(ds.Examples)); frac < 0.75 {
+		t.Errorf("labeled bundle agrees with oracle on %.2f of probe points, want >= 0.75", frac)
+	}
+}
+
+// TestLabeledModeDeterministicAndValidated: equal configs produce
+// byte-identical labeled bundles, and unsupported collectives fail fast.
+func TestLabeledModeDeterministicAndValidated(t *testing.T) {
+	cfg := Config{Seed: 11, Labeled: true, Trees: 4, Depth: 6, Collectives: []string{"broadcast"}}
+	a, err := JSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("labeled mode is not deterministic for equal configs")
+	}
+	if _, err := JSON(Config{Labeled: true, Collectives: []string{"reduce_scatter"}}); err == nil {
+		t.Fatal("labeled mode must reject collectives the perfmodel does not support")
 	}
 }

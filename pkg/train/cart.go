@@ -1,0 +1,206 @@
+// Package train grows the models pkg/bundle serves: a CART decision-tree
+// learner (Gini impurity, depth and min-samples limits) and a bagged
+// random-forest trainer (bootstrap sampling, per-tree feature
+// subsampling, seeded determinism) with out-of-bag accuracy and
+// per-feature importance. Trained forests export to the exact on-disk
+// bundle format, so the offline train → publish → hot-swap loop runs
+// entirely inside this repo.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/pml-mpi/pmlmpi/pkg/forest"
+)
+
+// cartConfig bounds one tree's growth.
+type cartConfig struct {
+	maxDepth        int
+	minSamplesSplit int
+	minSamplesLeaf  int
+	nClasses        int
+	// features are the column indices this tree may split on (the
+	// per-tree feature subsample).
+	features []int
+}
+
+// cartBuilder grows one tree over a column-major view of the training
+// matrix. Nodes append parent-before-children, so child indices always
+// point forward — the invariant forest.Validate enforces.
+type cartBuilder struct {
+	cfg cartConfig
+	x   [][]float64 // x[sample][feature]
+	y   []int
+	// importance accumulates weighted Gini decrease per (full-space)
+	// feature column as splits are chosen.
+	importance []float64
+	nTotal     float64
+	nodes      []forest.Node
+	// scratch buffers reused across splits to keep allocation flat.
+	leftCounts  []float64
+	rightCounts []float64
+}
+
+// counts tallies class membership for the given sample indices.
+func (b *cartBuilder) counts(idx []int) []float64 {
+	c := make([]float64, b.cfg.nClasses)
+	for _, i := range idx {
+		c[b.y[i]]++
+	}
+	return c
+}
+
+// gini computes the Gini impurity of a class-count vector with n total
+// samples.
+func gini(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / n
+		g -= p * p
+	}
+	return g
+}
+
+// split is a candidate decision: route x[feature] <= threshold left.
+type split struct {
+	feature   int
+	threshold float64
+	gain      float64
+	ok        bool
+}
+
+// bestSplit searches the candidate features for the split with the
+// largest impurity decrease. Ties break toward the lower feature index,
+// then the lower threshold, so tree growth is fully deterministic.
+func (b *cartBuilder) bestSplit(idx []int, parentCounts []float64) split {
+	n := float64(len(idx))
+	parentGini := gini(parentCounts, n)
+	best := split{}
+	order := make([]int, len(idx))
+	for _, f := range b.cfg.features {
+		copy(order, idx)
+		// Sort samples by (value, index): the index tiebreak keeps the
+		// scan order — and therefore midpoint thresholds — deterministic.
+		sort.Slice(order, func(a, c int) bool {
+			va, vc := b.x[order[a]][f], b.x[order[c]][f]
+			if va != vc {
+				return va < vc
+			}
+			return order[a] < order[c]
+		})
+		for i := range b.leftCounts {
+			b.leftCounts[i] = 0
+			b.rightCounts[i] = parentCounts[i]
+		}
+		for i := 0; i < len(order)-1; i++ {
+			cls := b.y[order[i]]
+			b.leftCounts[cls]++
+			b.rightCounts[cls]--
+			v, next := b.x[order[i]][f], b.x[order[i+1]][f]
+			if v == next {
+				continue // can't cut between equal values
+			}
+			nl, nr := float64(i+1), n-float64(i+1)
+			if int(nl) < b.cfg.minSamplesLeaf || int(nr) < b.cfg.minSamplesLeaf {
+				continue
+			}
+			gain := parentGini - (nl*gini(b.leftCounts, nl)+nr*gini(b.rightCounts, nr))/n
+			if gain <= 1e-12 {
+				continue
+			}
+			// Strictly-greater keeps the first-found split on ties; with
+			// features visited ascending and thresholds ascending, that
+			// makes the chosen split fully deterministic.
+			if gain > best.gain {
+				best = split{feature: f, threshold: v + (next-v)/2, gain: gain, ok: true}
+			}
+		}
+	}
+	return best
+}
+
+// leafDist converts class counts into the leaf probability distribution
+// the serving forest stores.
+func leafDist(counts []float64, n float64) []float64 {
+	d := make([]float64, len(counts))
+	for i, c := range counts {
+		d[i] = c / n
+	}
+	return d
+}
+
+// build grows the subtree over idx and returns its node index.
+func (b *cartBuilder) build(idx []int, depth int) int {
+	at := len(b.nodes)
+	b.nodes = append(b.nodes, forest.Node{})
+	counts := b.counts(idx)
+	n := float64(len(idx))
+
+	pure := false
+	for _, c := range counts {
+		if c == n {
+			pure = true
+			break
+		}
+	}
+	if pure || depth >= b.cfg.maxDepth || len(idx) < b.cfg.minSamplesSplit {
+		b.nodes[at] = forest.Node{F: -1, D: leafDist(counts, n)}
+		return at
+	}
+	sp := b.bestSplit(idx, counts)
+	if !sp.ok {
+		b.nodes[at] = forest.Node{F: -1, D: leafDist(counts, n)}
+		return at
+	}
+	b.importance[sp.feature] += (n / b.nTotal) * sp.gain
+
+	left := make([]int, 0, len(idx))
+	right := make([]int, 0, len(idx))
+	for _, i := range idx {
+		if b.x[i][sp.feature] <= sp.threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	l := b.build(left, depth+1)
+	r := b.build(right, depth+1)
+	b.nodes[at] = forest.Node{F: sp.feature, T: sp.threshold, L: l, R: r}
+	return at
+}
+
+// trainTree grows one CART tree on the samples in idx and returns the
+// tree plus the per-feature importance it accumulated.
+func trainTree(x [][]float64, y []int, idx []int, cfg cartConfig) (forest.Tree, []float64, error) {
+	if len(idx) == 0 {
+		return forest.Tree{}, nil, fmt.Errorf("train: tree has no samples")
+	}
+	nFeatures := len(x[0])
+	b := &cartBuilder{
+		cfg:         cfg,
+		x:           x,
+		y:           y,
+		importance:  make([]float64, nFeatures),
+		nTotal:      float64(len(idx)),
+		leftCounts:  make([]float64, cfg.nClasses),
+		rightCounts: make([]float64, cfg.nClasses),
+	}
+	b.build(idx, 0)
+	return forest.Tree{Nodes: b.nodes}, b.importance, nil
+}
+
+// sampleFeatures draws k distinct feature columns with a seeded
+// generator, returned sorted for deterministic split search order.
+func sampleFeatures(rng *rand.Rand, nFeatures, k int) []int {
+	if k >= nFeatures {
+		k = nFeatures
+	}
+	perm := rng.Perm(nFeatures)[:k]
+	sort.Ints(perm)
+	return perm
+}

@@ -1,0 +1,152 @@
+package train_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/perfmodel"
+	"github.com/pml-mpi/pmlmpi/pkg/registry"
+	"github.com/pml-mpi/pmlmpi/pkg/selector"
+	"github.com/pml-mpi/pmlmpi/pkg/train"
+)
+
+// TestEndToEndTrainWatchServe closes the full offline-train → publish →
+// hot-swap → serve loop the paper implies:
+//
+//  1. sweep the analytical perfmodel for labels and hold out a test split,
+//  2. train a forest bundle and write it atomically to a watched path,
+//  3. let the registry watcher discover, validate, and promote it,
+//  4. serve live Select calls through the selector,
+//  5. require >= 90% agreement between served decisions and the
+//     analytical oracle on the held-out points, deterministically.
+func TestEndToEndTrainWatchServe(t *testing.T) {
+	const seed = 17
+
+	ds, err := perfmodel.Sweep(perfmodel.SweepConfig{})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if dropped := ds.Dedup(); dropped != 0 {
+		t.Fatalf("default sweep contains %d duplicate points", dropped)
+	}
+	trainSet, heldOut := ds.Split(0.2, seed)
+
+	b, reports, err := train.TrainBundle(trainSet, train.BundleConfig{
+		Config:    train.Config{Trees: 32, MaxDepth: 14, Seed: seed},
+		TrainedOn: []string{"perfmodel-sweep-v1"},
+	})
+	if err != nil {
+		t.Fatalf("TrainBundle: %v", err)
+	}
+	for _, r := range reports {
+		t.Logf("trained %s: %d examples, %d trees, OOB %.4f", r.Collective, r.Examples, r.Trees, r.OOBAccuracy)
+	}
+
+	// Publish to the watched path. WriteFile is atomic, so the watcher can
+	// never observe a half-written bundle.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bundle.json")
+	written, err := b.WriteFile(path)
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	o := obs.NewForTest()
+	reg := registry.New(o, registry.Config{})
+	w := registry.NewWatcher(reg, o, path, time.Second)
+	w.SetInterval(2 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.ActiveGeneration() == nil && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	gen := reg.ActiveGeneration()
+	if gen == nil {
+		t.Fatal("watcher never promoted the trained bundle")
+	}
+	if gen.Bundle().Hash != mustHash(t, written) {
+		t.Fatal("promoted generation hash does not match the written artifact")
+	}
+
+	sel := selector.NewFromSource(reg, o, selector.Config{})
+	agree := map[string]int{}
+	total := map[string]int{}
+	for i := range heldOut.Examples {
+		ex := &heldOut.Examples[i]
+		d, err := sel.Select(ctx, ex.Collective, ex.Features)
+		if err != nil {
+			t.Fatalf("Select(%s) example %d: %v", ex.Collective, i, err)
+		}
+		if d.Generation != gen.ID() {
+			t.Fatalf("decision generation %d, want %d", d.Generation, gen.ID())
+		}
+		// The oracle label was computed at sweep time; recompute to prove
+		// the oracle itself is deterministic.
+		if oracle := perfmodel.Oracle(ex.Collective, ex.Features); oracle != ex.Label {
+			t.Fatalf("oracle drifted: example %d labeled %d, recomputed %d", i, ex.Label, oracle)
+		}
+		total[ex.Collective]++
+		if d.Class == ex.Label {
+			agree[ex.Collective]++
+		}
+	}
+	cancel()
+	<-done
+
+	overallAgree, overallTotal := 0, 0
+	for coll, n := range total {
+		frac := float64(agree[coll]) / float64(n)
+		t.Logf("served agreement %s: %d/%d = %.4f", coll, agree[coll], n, frac)
+		if frac < 0.90 {
+			t.Errorf("collective %s: served decisions agree with the analytical oracle on %.2f%% of held-out points, want >= 90%%",
+				coll, frac*100)
+		}
+		overallAgree += agree[coll]
+		overallTotal += n
+	}
+	if overallTotal == 0 {
+		t.Fatal("held-out split is empty")
+	}
+	if frac := float64(overallAgree) / float64(overallTotal); frac < 0.90 {
+		t.Errorf("overall served agreement %.4f < 0.90", frac)
+	}
+
+	// Served algorithm names decode through the default table for every
+	// perfmodel collective (class order pinned by a perfmodel test).
+	for i := range heldOut.Examples {
+		ex := &heldOut.Examples[i]
+		if ex.Collective != "broadcast" {
+			continue
+		}
+		d, err := sel.Select(ctx, "broadcast", ex.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names, err := perfmodel.AlgorithmNames("broadcast")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Algorithm != names[d.Class] {
+			t.Errorf("served algorithm %q but class %d is %q in the perfmodel table", d.Algorithm, d.Class, names[d.Class])
+		}
+		break
+	}
+}
+
+// mustHash parses raw bundle bytes and returns their content hash.
+func mustHash(t *testing.T, data []byte) string {
+	t.Helper()
+	b, err := bundle.Parse(data)
+	if err != nil {
+		t.Fatalf("parse written bundle: %v", err)
+	}
+	return b.Hash
+}
