@@ -19,10 +19,12 @@ import (
 	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/admin"
+	"github.com/pml-mpi/pmlmpi/pkg/buildinfo"
 	"github.com/pml-mpi/pmlmpi/pkg/cache"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
+	"github.com/pml-mpi/pmlmpi/pkg/slo"
 )
 
 // options collects the flag-derived server configuration.
@@ -42,6 +44,9 @@ type options struct {
 	shadowFraction float64
 	shadowWorkers  int
 	shadowQueue    int
+
+	sloSelectP99    time.Duration
+	sloAvailability float64
 
 	traceSampleRate float64
 	traceCapacity   int
@@ -71,6 +76,9 @@ func main() {
 		shadowWorkers  = flag.Int("shadow-workers", 2, "worker goroutines evaluating shadow samples")
 		shadowQueue    = flag.Int("shadow-queue", 256, "shadow sample queue capacity (overflow is dropped, never blocks)")
 
+		sloSelectP99    = flag.Duration("slo-select-p99", time.Millisecond, "latency SLO: 99% of selects must complete within this (0 disables latency burn tracking)")
+		sloAvailability = flag.Float64("slo-availability", 0.999, "availability SLO: required select success fraction in (0,1) (0 disables availability burn tracking)")
+
 		traceSampleRate = flag.Float64("trace-sample-rate", 0.01, "head-based trace sampling fraction in [0,1] (0 disables tracing)")
 		traceCapacity   = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "sampled traces retained for /debug/traces")
 		pprofFlag       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -96,6 +104,9 @@ func main() {
 		shadowFraction: *shadowFraction,
 		shadowWorkers:  *shadowWorkers,
 		shadowQueue:    *shadowQueue,
+
+		sloSelectP99:    *sloSelectP99,
+		sloAvailability: *sloAvailability,
 
 		traceSampleRate: *traceSampleRate,
 		traceCapacity:   *traceCapacity,
@@ -153,12 +164,20 @@ func run(o *obs.Obs, opts options) error {
 		o.Logger.Info("decision cache disabled")
 	}
 
+	// SLO tracking: every Select feeds rolling 1m/5m/1h windows; burn rates
+	// surface on /debug/slo and pmlmpi_slo_*.
+	tracker := slo.New(o.Registry, slo.Objectives{
+		SelectP99:    opts.sloSelectP99,
+		Availability: opts.sloAvailability,
+	})
+
 	sel := selector.NewFromSource(reg, o, selector.Config{
 		RingSize:              opts.ringSize,
 		Cache:                 decisionCache,
 		BatchWorkers:          opts.batchWorkers,
 		ParallelTreeThreshold: opts.parallelTrees,
 		Shadow:                shadow,
+		SLO:                   tracker,
 	})
 	shadow.SetNamer(sel.AlgorithmName)
 	shadow.Start()
@@ -173,6 +192,7 @@ func run(o *obs.Obs, opts options) error {
 			Pprof:    opts.pprof,
 			Registry: reg,
 			Shadow:   shadow,
+			SLO:      tracker,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -181,6 +201,7 @@ func run(o *obs.Obs, opts options) error {
 	go func() {
 		o.Logger.Info("serving",
 			"addr", opts.addr,
+			"version", buildinfo.Resolve(),
 			"generation", gen.ID(),
 			"collectives", gen.Bundle().CollectiveNames())
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {

@@ -14,9 +14,11 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/pml-mpi/pmlmpi/pkg/buildinfo"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
+	"github.com/pml-mpi/pmlmpi/pkg/slo"
 )
 
 // Config tunes optional parts of the admin surface.
@@ -33,6 +35,18 @@ type Config struct {
 	// Shadow, when non-nil, mounts /debug/shadow with the candidate
 	// agreement/latency report.
 	Shadow *registry.Shadow
+	// SLO, when non-nil, mounts /debug/slo with the rolling burn-rate
+	// report and refreshes the pmlmpi_slo_* gauges on every /metrics
+	// scrape.
+	SLO *slo.Tracker
+}
+
+// Route describes one registered endpoint: its path and the single method
+// it accepts (HEAD rides along with GET). Every other method gets a 405
+// with an Allow header. The table backs the method-handling audit test.
+type Route struct {
+	Path   string `json:"path"`
+	Method string `json:"method"`
 }
 
 // Server is the admin HTTP handler.
@@ -41,8 +55,10 @@ type Server struct {
 	o       *obs.Obs
 	reg     *registry.Registry
 	shadow  *registry.Shadow
+	slo     *slo.Tracker
 	started time.Time
 	mux     *http.ServeMux
+	routes  []Route
 
 	httpRequests *obs.Counter
 	httpLatency  *obs.Histogram
@@ -55,6 +71,7 @@ func New(sel *selector.Selector, o *obs.Obs, cfg Config) *Server {
 		o:       o,
 		reg:     cfg.Registry,
 		shadow:  cfg.Shadow,
+		slo:     cfg.SLO,
 		started: time.Now(),
 		mux:     http.NewServeMux(),
 		httpRequests: o.Registry.Counter("pmlmpi_http_requests_total",
@@ -62,21 +79,25 @@ func New(sel *selector.Selector, o *obs.Obs, cfg Config) *Server {
 		httpLatency: o.Registry.Histogram("pmlmpi_http_request_duration_seconds",
 			"HTTP request handling latency.", obs.LatencyBuckets, "path"),
 	}
-	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
-	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
-	s.mux.HandleFunc("/debug/decisions", s.instrument("/debug/decisions", s.handleDecisions))
-	s.mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleTraces))
-	s.mux.HandleFunc("/debug/analytics", s.instrument("/debug/analytics", s.handleAnalytics))
-	s.mux.HandleFunc("/v1/select", s.instrument("/v1/select", s.handleSelect))
-	s.mux.HandleFunc("/v1/select/batch", s.instrument("/v1/select/batch", s.handleSelectBatch))
+	buildinfo.Register(o.Registry)
+	s.route("/metrics", http.MethodGet, "GET returns Prometheus text metrics", s.handleMetrics)
+	s.route("/healthz", http.MethodGet, "GET returns serving health", s.handleHealthz)
+	s.route("/debug/decisions", http.MethodGet, "GET lists recent decisions (?limit=, ?collective=)", s.handleDecisions)
+	s.route("/debug/traces", http.MethodGet, "GET lists sampled traces (?limit=) or one tree (?id=)", s.handleTraces)
+	s.route("/debug/analytics", http.MethodGet, "GET returns the decision-analytics rollup", s.handleAnalytics)
+	s.route("/v1/select", http.MethodPost, "POST a JSON body: {\"collective\": ..., \"features\": {...}}", s.handleSelect)
+	s.route("/v1/select/batch", http.MethodPost, "POST a JSON body: {\"requests\": [{\"collective\": ..., \"features\": {...}}, ...]}", s.handleSelectBatch)
 	if cfg.Registry != nil {
-		s.mux.HandleFunc("/v1/registry", s.instrument("/v1/registry", s.handleRegistry))
-		s.mux.HandleFunc("/v1/registry/load", s.instrument("/v1/registry/load", s.handleRegistryLoad))
-		s.mux.HandleFunc("/v1/registry/promote", s.instrument("/v1/registry/promote", s.handleRegistryPromote))
-		s.mux.HandleFunc("/v1/registry/rollback", s.instrument("/v1/registry/rollback", s.handleRegistryRollback))
+		s.route("/v1/registry", http.MethodGet, "GET lists registry generations", s.handleRegistry)
+		s.route("/v1/registry/load", http.MethodPost, "POST a JSON body: {\"path\": \"...\", \"promote\": false}", s.handleRegistryLoad)
+		s.route("/v1/registry/promote", http.MethodPost, "POST a JSON body: {\"id\": N} (omit id to promote the latest staged generation)", s.handleRegistryPromote)
+		s.route("/v1/registry/rollback", http.MethodPost, "POST with an empty body rolls back to the previously active generation", s.handleRegistryRollback)
 	}
 	if cfg.Shadow != nil {
-		s.mux.HandleFunc("/debug/shadow", s.instrument("/debug/shadow", s.handleShadow))
+		s.route("/debug/shadow", http.MethodGet, "GET returns the shadow-evaluation report", s.handleShadow)
+	}
+	if cfg.SLO != nil {
+		s.route("/debug/slo", http.MethodGet, "GET returns the rolling SLO burn-rate report", s.handleSLO)
 	}
 	if cfg.Pprof {
 		// Mounted bare, without the instrument wrapper: statusRecorder does
@@ -93,6 +114,26 @@ func New(sel *selector.Selector, o *obs.Obs, cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Routes returns every registered endpoint with its accepted method
+// (pprof endpoints excepted — they are mounted bare). The audit test
+// iterates this table so no future route can dodge method enforcement.
+func (s *Server) Routes() []Route { return append([]Route(nil), s.routes...) }
+
+// route registers one method-enforced, instrumented endpoint. Any other
+// method is answered with 405, an RFC-required Allow header, and a usage
+// hint. HEAD is accepted wherever GET is (net/http discards the body).
+func (s *Server) route(path, method string, usage string, h http.HandlerFunc) {
+	s.routes = append(s.routes, Route{Path: path, Method: method})
+	s.mux.HandleFunc(path, s.instrument(path, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method && !(method == http.MethodGet && r.Method == http.MethodHead) {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, usage)
+			return
+		}
+		h(w, r)
+	}))
+}
 
 // statusRecorder captures the status code written by a handler.
 type statusRecorder struct {
@@ -124,8 +165,19 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.slo != nil {
+		// Re-evaluate the rolling windows so scraped burn rates are
+		// current without a background refresher goroutine.
+		s.slo.Refresh()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.o.Registry.WritePrometheus(w)
+}
+
+// handleSLO serves the rolling SLO report: objectives plus per-window
+// counts, availability, and burn rates.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Report())
 }
 
 // healthCollective summarizes one collective model for /healthz.
@@ -146,6 +198,8 @@ type healthGeneration struct {
 // Health is the /healthz response body.
 type Health struct {
 	Status        string                      `json:"status"`
+	ServerVersion string                      `json:"server_version"`
+	GoVersion     string                      `json:"go_version"`
 	BundleLoaded  bool                        `json:"bundle_loaded"`
 	ModelVersion  string                      `json:"model_version,omitempty"`
 	BundlePath    string                      `json:"bundle_path,omitempty"`
@@ -159,7 +213,11 @@ type Health struct {
 // reports the active generation and degrades to 503 when no generation is
 // active — the load balancer signal that this instance cannot select.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	h := Health{UptimeSeconds: time.Since(s.started).Seconds()}
+	h := Health{
+		ServerVersion: buildinfo.Resolve(),
+		GoVersion:     buildinfo.GoVersion(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
 	b := s.sel.Bundle()
 	if b == nil {
 		h.Status = "unavailable"
@@ -276,10 +334,6 @@ type selectRequest struct {
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		methodNotAllowed(w, "POST a JSON body: {\"collective\": ..., \"features\": {...}}")
-		return
-	}
 	var req selectRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -322,10 +376,6 @@ type batchResponse struct {
 }
 
 func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		methodNotAllowed(w, "POST a JSON body: {\"requests\": [{\"collective\": ..., \"features\": {...}}, ...]}")
-		return
-	}
 	var req batchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -355,11 +405,6 @@ func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
 
 // handleRegistry lists resident generations and the active one.
 func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "GET lists registry generations")
-		return
-	}
 	var activeID uint64
 	if g := s.reg.ActiveGeneration(); g != nil {
 		activeID = g.ID()
@@ -383,10 +428,6 @@ type registryLoadRequest struct {
 // handleRegistryLoad stages a bundle file as a new generation. An invalid
 // bundle yields a 422 and leaves the active generation untouched.
 func (s *Server) handleRegistryLoad(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		methodNotAllowed(w, "POST a JSON body: {\"path\": \"...\", \"promote\": false}")
-		return
-	}
 	var req registryLoadRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -417,10 +458,6 @@ type registryPromoteRequest struct {
 }
 
 func (s *Server) handleRegistryPromote(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		methodNotAllowed(w, "POST a JSON body: {\"id\": N} (omit id to promote the latest staged generation)")
-		return
-	}
 	var req registryPromoteRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
@@ -446,10 +483,6 @@ func (s *Server) handleRegistryPromote(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRegistryRollback(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		methodNotAllowed(w, "POST with an empty body rolls back to the previously active generation")
-		return
-	}
 	g, err := s.reg.Rollback()
 	if err != nil {
 		writeError(w, http.StatusConflict, err.Error())
@@ -474,11 +507,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
-}
-
-// methodNotAllowed writes a 405 with the RFC-required Allow header; all
-// mutating endpoints here are POST-only.
-func methodNotAllowed(w http.ResponseWriter, msg string) {
-	w.Header().Set("Allow", http.MethodPost)
-	writeError(w, http.StatusMethodNotAllowed, msg)
 }

@@ -1,0 +1,93 @@
+package admin
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/registry"
+	"github.com/pml-mpi/pmlmpi/pkg/selector"
+	"github.com/pml-mpi/pmlmpi/pkg/slo"
+)
+
+// newFullServer wires every optional surface (registry, shadow, SLO) so the
+// route table is complete.
+func newFullServer(t *testing.T) (*Server, *slo.Tracker) {
+	t.Helper()
+	dir := t.TempDir()
+	o := obs.NewForTest()
+	sh := registry.NewShadow(o, registry.ShadowConfig{Fraction: 1, Workers: 1})
+	r := registry.New(o, registry.Config{Shadow: sh})
+	g, err := r.Load(writeSynthBundle(t, dir, "gen1.json", 1))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := r.Promote(g.ID()); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	tracker := slo.New(o.Registry, slo.Objectives{SelectP99: time.Millisecond, Availability: 0.999})
+	sel := selector.NewFromSource(r, o, selector.Config{RingSize: 8, SLO: tracker})
+	return New(sel, o, Config{Registry: r, Shadow: sh, SLO: tracker}), tracker
+}
+
+// TestEveryRouteEnforcesItsMethod is the method-handling audit: every
+// registered route — GET and POST alike, /debug/* included — must answer a
+// wrong-method request with 405 and an Allow header naming the one accepted
+// method. Iterating Server.Routes() means a newly added endpoint is audited
+// automatically.
+func TestEveryRouteEnforcesItsMethod(t *testing.T) {
+	srv, _ := newFullServer(t)
+	routes := srv.Routes()
+	if len(routes) < 13 {
+		t.Fatalf("route table has %d entries, want every endpoint (>= 13): %+v", len(routes), routes)
+	}
+	// The table must cover the full debug surface.
+	want := map[string]bool{
+		"/metrics": false, "/healthz": false,
+		"/debug/decisions": false, "/debug/traces": false, "/debug/analytics": false,
+		"/debug/shadow": false, "/debug/slo": false,
+		"/v1/select": false, "/v1/select/batch": false,
+		"/v1/registry": false, "/v1/registry/load": false,
+		"/v1/registry/promote": false, "/v1/registry/rollback": false,
+	}
+	for _, rt := range routes {
+		if _, ok := want[rt.Path]; ok {
+			want[rt.Path] = true
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("route table missing %s", path)
+		}
+	}
+
+	wrong := map[string][]string{
+		http.MethodGet:  {http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodPatch},
+		http.MethodPost: {http.MethodGet, http.MethodPut, http.MethodDelete, http.MethodPatch},
+	}
+	for _, rt := range routes {
+		for _, method := range wrong[rt.Method] {
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest(method, rt.Path, nil))
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s = %d, want 405", method, rt.Path, rec.Code)
+			}
+			if got := rec.Header().Get("Allow"); got != rt.Method {
+				t.Errorf("%s %s Allow = %q, want %q", method, rt.Path, got, rt.Method)
+			}
+		}
+	}
+}
+
+// TestHeadRidesAlongWithGet: HEAD on a GET route must not 405 (net/http
+// drops the body itself).
+func TestHeadRidesAlongWithGet(t *testing.T) {
+	srv, _ := newFullServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodHead, "/healthz", nil))
+	if rec.Code == http.StatusMethodNotAllowed {
+		t.Errorf("HEAD /healthz = 405, want it treated as GET")
+	}
+}

@@ -1,0 +1,162 @@
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/buildinfo"
+	"github.com/pml-mpi/pmlmpi/pkg/slo"
+)
+
+// sloWindow pulls one named window out of a /debug/slo response.
+func sloWindow(t *testing.T, report slo.Report, label string) slo.Window {
+	t.Helper()
+	for _, w := range report.Windows {
+		if w.Window == label {
+			return w
+		}
+	}
+	t.Fatalf("no %q window in %+v", label, report.Windows)
+	return slo.Window{}
+}
+
+func TestDebugSLOTracksLiveSelects(t *testing.T) {
+	srv, tracker := newFullServer(t)
+
+	// Drive live traffic through the selection endpoint; every Select must
+	// land in the SLO windows via the selector wiring.
+	for i := 0; i < 20; i++ {
+		if rec := post(t, srv, "/v1/select", selectBody(t, srv)); rec.Code != http.StatusOK {
+			t.Fatalf("select = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	rec := get(t, srv, "/debug/slo")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/slo = %d", rec.Code)
+	}
+	var report slo.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &report); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	w := sloWindow(t, report, "1m")
+	if w.Count != 20 {
+		t.Errorf("1m window count = %d, want 20 live selects", w.Count)
+	}
+	if w.Availability != 1 {
+		t.Errorf("availability = %v, want 1", w.Availability)
+	}
+	// µs-regime selects against a 1ms objective: burn must be ~0.
+	if w.LatencyBurnRate > 0.5 {
+		t.Errorf("latency burn under healthy fixture workload = %v, want ~0", w.LatencyBurnRate)
+	}
+	if report.Objectives.SelectP99Seconds != 0.001 {
+		t.Errorf("objectives = %+v", report.Objectives)
+	}
+
+	// Injected slow selects push the burn rate over 1.
+	for i := 0; i < 5; i++ {
+		tracker.Record(0.05, true)
+	}
+	rec = get(t, srv, "/debug/slo")
+	if err := json.Unmarshal(rec.Body.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if w := sloWindow(t, report, "1m"); w.LatencyBurnRate <= 1 {
+		t.Errorf("burn after injected slow selects = %v, want > 1", w.LatencyBurnRate)
+	}
+}
+
+// selectBody builds a valid /v1/select body for the synthetic bundle by
+// reading its first collective's feature names.
+func selectBody(t *testing.T, srv *Server) string {
+	t.Helper()
+	b := srv.sel.Bundle()
+	for name, c := range b.Collectives {
+		feats := map[string]float64{}
+		for _, f := range c.FeatureNames {
+			feats[f] = 8
+		}
+		req := map[string]any{"collective": name, "features": feats}
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	t.Fatal("bundle has no collectives")
+	return ""
+}
+
+// TestFailedSelectsBurnAvailability: selector errors must count against the
+// availability budget.
+func TestFailedSelectsBurnAvailability(t *testing.T) {
+	srv, _ := newFullServer(t)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := srv.sel.Select(ctx, "no_such_collective", nil); err == nil {
+			t.Fatal("expected error for unknown collective")
+		}
+	}
+	var report slo.Report
+	rec := get(t, srv, "/debug/slo")
+	if err := json.Unmarshal(rec.Body.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	w := sloWindow(t, report, "1m")
+	if w.Errors != 4 {
+		t.Errorf("errors = %d, want 4", w.Errors)
+	}
+	// 100% errors against a 0.1% budget: burn = 1000.
+	if w.AvailabilityBurnRate <= 1 {
+		t.Errorf("availability burn = %v, want >> 1", w.AvailabilityBurnRate)
+	}
+}
+
+func TestMetricsExposeSLOAndBuildInfo(t *testing.T) {
+	srv, _ := newFullServer(t)
+	if rec := post(t, srv, "/v1/select", selectBody(t, srv)); rec.Code != http.StatusOK {
+		t.Fatalf("select = %d", rec.Code)
+	}
+	body := get(t, srv, "/metrics").Body.String()
+	for _, want := range []string{
+		"# TYPE pmlmpi_slo_latency_burn_rate gauge",
+		`pmlmpi_slo_availability{window="1m"} 1`,
+		"pmlmpi_slo_objective_select_p99_seconds",
+		`pmlmpi_build_info{version="` + buildinfo.Resolve() + `"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestHealthzReportsVersionAndUptime(t *testing.T) {
+	srv, _ := newFullServer(t)
+	var h Health
+	rec := get(t, srv, "/healthz")
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ServerVersion != buildinfo.Resolve() {
+		t.Errorf("server_version = %q, want %q", h.ServerVersion, buildinfo.Resolve())
+	}
+	if h.GoVersion == "" {
+		t.Error("go_version missing from /healthz")
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v", h.UptimeSeconds)
+	}
+}
+
+// TestDebugSLOAbsentWithoutTracker: the endpoint only mounts when a tracker
+// is configured.
+func TestDebugSLOAbsentWithoutTracker(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	if rec := get(t, srv, "/debug/slo"); rec.Code != http.StatusNotFound {
+		t.Errorf("/debug/slo without tracker = %d, want 404", rec.Code)
+	}
+}

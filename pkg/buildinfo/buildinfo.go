@@ -1,0 +1,48 @@
+// Package buildinfo stamps the running binary: a version string (overridden
+// at link time), the Go toolchain version, and a Prometheus-conventional
+// pmlmpi_build_info metric. Load reports and dashboards join on these labels
+// to say exactly what they measured.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+// Version identifies the build. Override at link time with
+//
+//	go build -ldflags "-X github.com/pml-mpi/pmlmpi/pkg/buildinfo.Version=v1.2.3"
+//
+// When left at "dev", Resolve falls back to the VCS revision embedded by the
+// Go toolchain, if any.
+var Version = "dev"
+
+// Resolve returns the effective version string: the linker-set Version, or
+// "dev+<short-rev>" when build metadata carries a VCS revision.
+func Resolve() string {
+	if Version != "dev" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return "dev+" + s.Value[:12]
+			}
+		}
+	}
+	return Version
+}
+
+// GoVersion returns the Go runtime version the binary was built with.
+func GoVersion() string { return runtime.Version() }
+
+// Register exposes pmlmpi_build_info{version,go_version} = 1 in reg — the
+// standard join key for annotating every other series with what binary
+// produced it. Idempotent: re-registering refreshes the same series.
+func Register(reg *obs.Registry) {
+	reg.Gauge("pmlmpi_build_info",
+		"Build metadata of the running binary; the value is always 1.",
+		"version", "go_version").Set(1, Resolve(), GoVersion())
+}

@@ -1,0 +1,37 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+func TestResolveDefault(t *testing.T) {
+	v := Resolve()
+	if v == "" {
+		t.Fatal("Resolve returned empty version")
+	}
+	if !strings.HasPrefix(v, "dev") && Version == "dev" {
+		t.Errorf("Resolve() = %q, want dev or dev+<rev> for an unstamped build", v)
+	}
+}
+
+func TestRegisterExposesBuildInfo(t *testing.T) {
+	reg := obs.NewRegistry()
+	Register(reg)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	body := b.String()
+	if !strings.Contains(body, "# TYPE pmlmpi_build_info gauge") {
+		t.Errorf("metrics missing pmlmpi_build_info family:\n%s", body)
+	}
+	if !strings.Contains(body, `version="`+Resolve()+`"`) {
+		t.Errorf("metrics missing version label %q:\n%s", Resolve(), body)
+	}
+	if !strings.Contains(body, `go_version="`+GoVersion()+`"`) {
+		t.Errorf("metrics missing go_version label:\n%s", body)
+	}
+	// Idempotent: a second Register must not panic or duplicate.
+	Register(reg)
+}

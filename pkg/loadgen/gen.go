@@ -1,0 +1,149 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Request is one generated selection request. Features carry the full
+// merged feature map (system features + scenario axes), ready to POST to
+// /v1/select.
+type Request struct {
+	Index      int                `json:"index"`
+	Scenario   string             `json:"scenario"`
+	Collective string             `json:"collective"`
+	Features   map[string]float64 `json:"features"`
+}
+
+// Seed-stream separators: the content, arrival and batch-assignment RNGs
+// are decorrelated from one base seed so changing the target QPS (which
+// consumes arrival draws) can never perturb the request contents, and vice
+// versa.
+const (
+	arrivalSeedMix = int64(-0x61c8864680b583eb) // 0x9e3779b97f4a7c15 as two's complement
+	batchSeedMix   = int64(0x5bf0363db2e2c6d9)
+)
+
+// Sequence deterministically expands a spec into n requests. The same
+// (spec, seed, n) always yields the same slice, element for element —
+// EncodeSequence of two such runs is byte-identical. That property is the
+// backbone of replayable benchmarking and is pinned by tests.
+func Sequence(spec Spec, seed int64, n int) ([]Request, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("sequence length must be >= 0, got %d", n)
+	}
+	var total float64
+	for _, sc := range spec.Scenarios {
+		total += sc.Weight
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	for i := range reqs {
+		// Weighted scenario pick.
+		r := rng.Float64() * total
+		sc := spec.Scenarios[len(spec.Scenarios)-1]
+		for _, cand := range spec.Scenarios {
+			if r -= cand.Weight; r < 0 {
+				sc = cand
+				break
+			}
+		}
+		feats := make(map[string]float64, len(spec.System)+3)
+		for k, v := range spec.System {
+			feats[k] = v
+		}
+		feats["num_nodes"] = float64(sc.NumNodes[rng.Intn(len(sc.NumNodes))])
+		feats["ppn"] = float64(sc.PPN[rng.Intn(len(sc.PPN))])
+		feats["log2_msg_size"] = float64(sc.Log2MsgSizes[skewedIndex(rng, len(sc.Log2MsgSizes), sc.SizeSkew)])
+		reqs[i] = Request{
+			Index:      i,
+			Scenario:   sc.Name,
+			Collective: sc.Collective,
+			Features:   feats,
+		}
+	}
+	return reqs, nil
+}
+
+// skewedIndex draws an index in [0, n) biased toward 0 by raising a
+// uniform draw to the skew power. Skew <= 1 (including the zero value) is
+// uniform.
+func skewedIndex(rng *rand.Rand, n int, skew float64) int {
+	u := rng.Float64()
+	if skew > 1 {
+		u = math.Pow(u, skew)
+	}
+	idx := int(u * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// EncodeSequence renders requests as newline-delimited JSON. Go's
+// encoding/json sorts map keys, so the encoding — not just the logical
+// content — is deterministic. Used for golden pins and --dump-requests.
+func EncodeSequence(reqs []Request) ([]byte, error) {
+	var out []byte
+	for i := range reqs {
+		line, err := json.Marshal(&reqs[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return out, nil
+}
+
+// SequenceHash is the SHA-256 of EncodeSequence, hex-encoded. Two runs
+// with the same spec and seed must report the same hash; the report embeds
+// it so benchmark artifacts are comparable at a glance.
+func SequenceHash(reqs []Request) (string, error) {
+	enc, err := EncodeSequence(reqs)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(enc)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Arrivals returns n cumulative start offsets for an open-loop Poisson
+// arrival process at the target rate. The offsets are deterministic for a
+// given (seed, n, qps) and strictly derived from a seed stream independent
+// of the request contents.
+func Arrivals(seed int64, n int, qps float64) []time.Duration {
+	if n <= 0 || qps <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed ^ arrivalSeedMix))
+	offs := make([]time.Duration, n)
+	var t float64
+	for i := range offs {
+		t += rng.ExpFloat64() / qps
+		offs[i] = time.Duration(t * float64(time.Second))
+	}
+	return offs
+}
+
+// batchFlags deterministically marks which requests travel via the batch
+// endpoint, independent of both contents and arrivals.
+func batchFlags(seed int64, n int, fraction float64) []bool {
+	flags := make([]bool, n)
+	if fraction <= 0 {
+		return flags
+	}
+	rng := rand.New(rand.NewSource(seed ^ batchSeedMix))
+	for i := range flags {
+		flags[i] = rng.Float64() < fraction
+	}
+	return flags
+}

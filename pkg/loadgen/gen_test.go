@@ -1,0 +1,230 @@
+package loadgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenSequenceHash pins the exact byte encoding of the committed
+// benchmark workload: DefaultSpec, seed 42, 500 requests. If this test
+// fails, the generator's output changed and every historical
+// BENCH_loadgen.json with spec dlcomm-mix/v1 stops being comparable —
+// bump the spec name rather than silently changing the workload.
+const goldenSequenceHash = "39aaf9a9d20c8237ab9bb0112f7184ee5b3a8c7806d1b7faad03d6906bda7bf0"
+
+func TestSequenceDeterministic(t *testing.T) {
+	spec := DefaultSpec()
+	a, err := Sequence(spec, 7, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sequence(spec, 7, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encA, err := EncodeSequence(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encB, err := EncodeSequence(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encA, encB) {
+		t.Fatal("two runs with the same seed+spec produced different request bytes")
+	}
+
+	c, err := Sequence(spec, 8, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encC, _ := EncodeSequence(c)
+	if bytes.Equal(encA, encC) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestSequenceGoldenHash(t *testing.T) {
+	reqs, err := Sequence(DefaultSpec(), 42, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := SequenceHash(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != goldenSequenceHash {
+		t.Fatalf("sequence hash = %s, want pinned %s (the committed workload changed)", h, goldenSequenceHash)
+	}
+}
+
+func TestSequenceShape(t *testing.T) {
+	spec := DefaultSpec()
+	reqs, err := Sequence(spec, 3, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScenario := map[string]int{}
+	sawLarge := false
+	for i, r := range reqs {
+		if r.Index != i {
+			t.Fatalf("reqs[%d].Index = %d", i, r.Index)
+		}
+		byScenario[r.Scenario]++
+		if r.Collective != "allgather" && r.Collective != "broadcast" {
+			t.Fatalf("unexpected collective %q", r.Collective)
+		}
+		for _, axis := range []string{"num_nodes", "ppn", "log2_msg_size", "link_speed_gbps"} {
+			if _, ok := r.Features[axis]; !ok {
+				t.Fatalf("request %d missing feature %q", i, axis)
+			}
+		}
+		if r.Features["log2_msg_size"] >= 23 {
+			sawLarge = true
+		}
+	}
+	// Every scenario must appear, roughly in weight proportion.
+	for _, sc := range spec.Scenarios {
+		n := byScenario[sc.Name]
+		if n == 0 {
+			t.Errorf("scenario %q never drawn", sc.Name)
+		}
+		share := float64(n) / float64(len(reqs))
+		if share < sc.Weight/2 || share > sc.Weight*2 {
+			t.Errorf("scenario %q share = %.3f, weight %.2f", sc.Name, share, sc.Weight)
+		}
+	}
+	if !sawLarge {
+		t.Error("heavy tail missing: no request drew a >= 8MB message")
+	}
+}
+
+func TestSizeSkewBiasesSmall(t *testing.T) {
+	spec := Spec{
+		Name:   "skewtest",
+		System: map[string]float64{},
+		Scenarios: []Scenario{{
+			Name: "s", Collective: "c", Weight: 1,
+			NumNodes: []int{2}, PPN: []int{2},
+			Log2MsgSizes: []int{10, 12, 14, 16, 18, 20, 22, 24},
+			SizeSkew:     3,
+		}},
+	}
+	reqs, err := Sequence(spec, 1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := 0
+	for _, r := range reqs {
+		if r.Features["log2_msg_size"] <= 14 {
+			small++
+		}
+	}
+	// With skew 3 the first three of eight slots hold ~u^(1/3) inverted
+	// mass; uniform would give 37.5%, skewed must be well above.
+	if frac := float64(small) / float64(len(reqs)); frac < 0.6 {
+		t.Errorf("small-message fraction with skew 3 = %.3f, want > 0.6", frac)
+	}
+}
+
+func TestArrivalsOpenLoopProperties(t *testing.T) {
+	a := Arrivals(9, 1000, 500)
+	b := Arrivals(9, 1000, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs between identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	last := time.Duration(-1)
+	for i, off := range a {
+		if off <= last {
+			t.Fatalf("arrivals not strictly increasing at %d: %v after %v", i, off, last)
+		}
+		last = off
+	}
+	// 1000 arrivals at 500 qps should span ~2s.
+	if span := a[len(a)-1].Seconds(); span < 1.0 || span > 4.0 {
+		t.Errorf("1000 arrivals at 500 qps span %.2fs, want ~2s", span)
+	}
+	// Changing QPS must not perturb the request-content stream: the
+	// content RNG and arrival RNG are independent.
+	s1, _ := Sequence(DefaultSpec(), 9, 100)
+	_ = Arrivals(9, 100, 50)
+	s2, _ := Sequence(DefaultSpec(), 9, 100)
+	h1, _ := SequenceHash(s1)
+	h2, _ := SequenceHash(s2)
+	if h1 != h2 {
+		t.Fatal("arrival generation perturbed request contents")
+	}
+}
+
+func TestBatchFlagsDeterministic(t *testing.T) {
+	a := batchFlags(4, 1000, 0.25)
+	b := batchFlags(4, 1000, 0.25)
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("batch assignment differs between identical runs")
+		}
+		if a[i] {
+			n++
+		}
+	}
+	if n < 150 || n > 350 {
+		t.Errorf("batch-flagged %d of 1000 at fraction 0.25", n)
+	}
+	for _, f := range batchFlags(4, 100, 0) {
+		if f {
+			t.Fatal("batch flag set with fraction 0")
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no scenarios", func(s *Spec) { s.Scenarios = nil }, "no scenarios"},
+		{"missing collective", func(s *Spec) { s.Scenarios[0].Collective = "" }, "missing collective"},
+		{"zero weight", func(s *Spec) { s.Scenarios[0].Weight = 0 }, "weight"},
+		{"empty sizes", func(s *Spec) { s.Scenarios[0].Log2MsgSizes = nil }, "non-empty"},
+		{"negative skew", func(s *Spec) { s.Scenarios[0].SizeSkew = -1 }, "size_skew"},
+		{"bad batch fraction", func(s *Spec) { s.BatchFraction = 1.5 }, "batch_fraction"},
+		{"batch without size", func(s *Spec) { s.BatchFraction = 0.5; s.BatchSize = 0 }, "batch_size"},
+	}
+	for _, tc := range cases {
+		spec := DefaultSpec()
+		tc.mut(&spec)
+		err := spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	if spec := DefaultSpec(); spec.Validate() != nil {
+		t.Error("DefaultSpec must validate")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	enc, err := EncodeSequence(nil)
+	if err != nil || len(enc) != 0 {
+		t.Fatalf("empty sequence encode = %q, %v", enc, err)
+	}
+	raw := strings.NewReader(`{"name":"x","system":{"core_count":8},` +
+		`"scenarios":[{"name":"s","collective":"allgather","weight":1,` +
+		`"num_nodes":[2],"ppn":[4],"log2_msg_sizes":[10]}],"batch_fraction":0}`)
+	parsed, err := ParseSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != "x" || len(parsed.Scenarios) != 1 {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+	if _, err := ParseSpec(strings.NewReader(`{"nope":1}`)); err == nil {
+		t.Error("unknown fields must be rejected")
+	}
+}

@@ -1,0 +1,135 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/pml-mpi/pmlmpi/pkg/analytics"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/registry"
+)
+
+// ReportSchema versions the BENCH_loadgen.json layout; bump it on any
+// incompatible change so trajectory tooling can dispatch on it.
+const ReportSchema = 1
+
+// Report is the canonical loadgen artifact: the run configuration, the
+// server identity it hit, client-observed results, and the scraped
+// server-side deltas — everything needed to compare two runs in one file.
+type Report struct {
+	Schema      int    `json:"schema"`
+	GeneratedAt string `json:"generated_at,omitempty"` // RFC3339, UTC
+
+	Config RunConfig   `json:"config"`
+	Server ServerInfo  `json:"server"`
+	Client Results     `json:"client"`
+	Delta  ServerDelta `json:"server_delta"`
+
+	// Analytics is the server's post-run /debug/analytics rollup
+	// (cumulative since server start; equal to the run on a fresh server).
+	Analytics []analytics.Row `json:"analytics,omitempty"`
+	// Shadow is the post-run /debug/shadow report when shadow evaluation
+	// is mounted.
+	Shadow *registry.ShadowReport `json:"shadow,omitempty"`
+}
+
+// RunConfig records the knobs that produced the run. SequenceHash pins the
+// exact request sequence: two reports with equal spec/seed/hash replayed
+// identical workloads.
+type RunConfig struct {
+	SpecName        string  `json:"spec_name"`
+	Seed            int64   `json:"seed"`
+	SequenceHash    string  `json:"sequence_hash"`
+	QPS             float64 `json:"target_qps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	WarmupSeconds   float64 `json:"warmup_seconds"`
+	Workers         int     `json:"workers"`
+	BatchFraction   float64 `json:"batch_fraction"`
+	BatchSize       int     `json:"batch_size,omitempty"`
+	Scheduled       int     `json:"scheduled_requests"`
+}
+
+// ServerInfo stamps the server identity at run start.
+type ServerInfo struct {
+	Version            string   `json:"version"`
+	GoVersion          string   `json:"go_version"`
+	ModelVersion       string   `json:"model_version,omitempty"`
+	Generation         uint64   `json:"generation,omitempty"`
+	GenerationHash     string   `json:"generation_hash,omitempty"`
+	Collectives        []string `json:"collectives,omitempty"`
+	UptimeSecondsStart float64  `json:"uptime_seconds_at_start"`
+}
+
+// Results is the client-observed side of the run. Latencies are measured
+// from each request's *scheduled* start (open-loop), so queueing induced
+// by a saturated server is charged to the server, not hidden — the
+// coordinated-omission-safe convention.
+type Results struct {
+	Measured        uint64  `json:"measured_requests"`
+	WarmupRequests  uint64  `json:"warmup_requests"`
+	Completed       uint64  `json:"completed"`
+	Errors          uint64  `json:"errors"`
+	MeasuredSeconds float64 `json:"measured_window_seconds"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+
+	// Latency aggregates every measured request; Endpoints splits it by
+	// API surface ("/v1/select" per request, "/v1/select/batch" per call).
+	Latency   obs.Summary            `json:"latency"`
+	Endpoints map[string]obs.Summary `json:"endpoints,omitempty"`
+
+	ErrorsByKind map[string]uint64 `json:"errors_by_kind,omitempty"`
+}
+
+// ServerDelta is the after-minus-before view of the server's /metrics over
+// the run window.
+type ServerDelta struct {
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	SelectionsByCollective map[string]uint64 `json:"selections_by_collective,omitempty"`
+	// SelectPathCounts splits pmlmpi_select_duration_seconds observations
+	// by path label (cold vs. cache_hit).
+	SelectPathCounts map[string]uint64 `json:"select_path_counts,omitempty"`
+	// SelectLatency summarizes the server-side select-duration histogram
+	// delta — the in-process cost, without HTTP/network.
+	SelectLatency obs.Summary `json:"select_latency"`
+
+	// RecentDecisionsByGeneration tallies the bounded /debug/decisions
+	// ring after the run — a sample of which model generation answered.
+	RecentDecisionsByGeneration map[string]uint64 `json:"recent_decisions_by_generation,omitempty"`
+}
+
+// WriteFile atomically writes the report as indented JSON: temp file in
+// the destination directory, fsync, rename. A crashed or concurrent run
+// can never leave a torn BENCH artifact.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("rename report into place: %w", err)
+	}
+	return nil
+}

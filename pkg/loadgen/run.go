@@ -1,0 +1,460 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+// Options configures one load-generation run.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Spec is the workload mix; the zero value means DefaultSpec.
+	Spec *Spec
+	// Seed drives every random choice. Same seed + same spec = identical
+	// request sequence, arrival schedule, and batch assignment.
+	Seed int64
+	// QPS is the target open-loop arrival rate (default 200).
+	QPS float64
+	// Duration is the measured window (default 5s); Warmup requests run
+	// first and are excluded from client statistics.
+	Duration time.Duration
+	Warmup   time.Duration
+	// Workers is the HTTP worker-pool size (default 8). Workers only
+	// bound concurrency; arrival times never depend on service times.
+	Workers int
+	// Timeout bounds each HTTP request (default 10s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Spec == nil {
+		s := DefaultSpec()
+		out.Spec = &s
+	}
+	if out.QPS <= 0 {
+		out.QPS = 200
+	}
+	if out.Duration <= 0 {
+		out.Duration = 5 * time.Second
+	}
+	if out.Warmup < 0 {
+		out.Warmup = 0
+	}
+	if out.Workers <= 0 {
+		out.Workers = 8
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 10 * time.Second
+	}
+	if out.Client == nil {
+		out.Client = &http.Client{Timeout: out.Timeout}
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// clientBuckets spans the HTTP round-trip regime: 10µs up to ~84s.
+var clientBuckets = obs.ExponentialBuckets(1e-5, 2, 23)
+
+// job is one dispatch unit: a single /v1/select call or one coalesced
+// /v1/select/batch call.
+type job struct {
+	single  *Request
+	group   []Request
+	offset  time.Duration   // dispatch offset from run start
+	offsets []time.Duration // per group member arrival offsets
+}
+
+// Run executes the workload against a live server and assembles the
+// report. The arrival schedule is open-loop: requests are released at
+// their scheduled times regardless of how fast the server answers, and
+// latency is measured from the scheduled start, so server-induced queueing
+// is visible instead of silently omitted.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	spec := *opts.Spec
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := newProbe(opts.BaseURL, opts.Client)
+
+	healthBefore, err := p.health(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("server not reachable: %w", err)
+	}
+	if healthBefore.Status != "ok" {
+		return nil, fmt.Errorf("server unhealthy before run: status %q", healthBefore.Status)
+	}
+	metricsBefore, err := p.metrics(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("scrape /metrics before run: %w", err)
+	}
+
+	total := int(math.Ceil(opts.QPS * (opts.Warmup + opts.Duration).Seconds()))
+	seq, err := Sequence(spec, opts.Seed, total)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := SequenceHash(seq)
+	if err != nil {
+		return nil, err
+	}
+	offsets := Arrivals(opts.Seed, total, opts.QPS)
+	jobs := plan(seq, offsets, batchFlags(opts.Seed, total, spec.BatchFraction), spec.BatchSize)
+	opts.Logf("loadgen: %d requests (%d dispatch units) at %.0f qps, seq %s",
+		total, len(jobs), opts.QPS, hash[:12])
+
+	rec := newRecorder()
+	ch := make(chan job, len(jobs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				execute(ctx, opts, rec, start, j)
+			}
+		}()
+	}
+
+	// Open-loop dispatcher: release each unit at its scheduled offset. The
+	// channel holds every job, so a send never blocks — slow service shows
+	// up as measured queueing, not a slower arrival rate.
+	runErr := dispatch(ctx, start, jobs, ch)
+	close(ch)
+	wg.Wait()
+	end := time.Now()
+
+	rep := &Report{
+		Schema:      ReportSchema,
+		GeneratedAt: end.UTC().Format(time.RFC3339),
+		Config: RunConfig{
+			SpecName:        spec.Name,
+			Seed:            opts.Seed,
+			SequenceHash:    hash,
+			QPS:             opts.QPS,
+			DurationSeconds: opts.Duration.Seconds(),
+			WarmupSeconds:   opts.Warmup.Seconds(),
+			Workers:         opts.Workers,
+			BatchFraction:   spec.BatchFraction,
+			BatchSize:       spec.BatchSize,
+			Scheduled:       total,
+		},
+		Server: ServerInfo{
+			Version:            healthBefore.ServerVersion,
+			GoVersion:          healthBefore.GoVersion,
+			ModelVersion:       healthBefore.ModelVersion,
+			UptimeSecondsStart: healthBefore.UptimeSeconds,
+		},
+	}
+	if g := healthBefore.Generation; g != nil {
+		rep.Server.Generation = g.ID
+		rep.Server.GenerationHash = g.Hash
+	}
+	for name := range healthBefore.Collectives {
+		rep.Server.Collectives = append(rep.Server.Collectives, name)
+	}
+	sort.Strings(rep.Server.Collectives)
+
+	window := end.Sub(start.Add(opts.Warmup)).Seconds()
+	rep.Client = rec.results(window)
+
+	// Post-run server-side evidence. The run is already complete, so a
+	// scrape failure degrades the report instead of failing it.
+	if metricsAfter, err := p.metrics(ctx); err == nil {
+		rep.Delta = metricsAfter.delta(metricsBefore)
+	} else {
+		opts.Logf("loadgen: post-run /metrics scrape failed: %v", err)
+	}
+	if rows, err := p.analytics(ctx); err == nil {
+		rep.Analytics = rows
+	}
+	if sh, err := p.shadow(ctx); err == nil && sh != nil {
+		rep.Shadow = sh
+	}
+	if gens, err := p.decisionsByGeneration(ctx); err == nil && len(gens) > 0 {
+		rep.Delta.RecentDecisionsByGeneration = gens
+	}
+	return rep, runErr
+}
+
+// plan turns the request sequence into dispatch units: consecutive
+// batch-flagged requests coalesce (up to batchSize per call) and fly when
+// their last member's arrival time comes due; everything else is a single
+// /v1/select call at its own arrival time.
+func plan(seq []Request, offsets []time.Duration, batched []bool, batchSize int) []job {
+	var jobs []job
+	var group []Request
+	var groupOffs []time.Duration
+	flush := func() {
+		if len(group) == 0 {
+			return
+		}
+		jobs = append(jobs, job{
+			group:   group,
+			offsets: groupOffs,
+			offset:  groupOffs[len(groupOffs)-1],
+		})
+		group, groupOffs = nil, nil
+	}
+	for i := range seq {
+		if batched[i] {
+			group = append(group, seq[i])
+			groupOffs = append(groupOffs, offsets[i])
+			if len(group) >= batchSize {
+				flush()
+			}
+			continue
+		}
+		jobs = append(jobs, job{single: &seq[i], offset: offsets[i]})
+	}
+	flush()
+	// Dispatch strictly by release time (batch units are due at their
+	// last member, which can land after later singles).
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].offset < jobs[b].offset })
+	return jobs
+}
+
+func dispatch(ctx context.Context, start time.Time, jobs []job, ch chan<- job) error {
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for _, j := range jobs {
+		if wait := time.Until(start.Add(j.offset)); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-timer.C:
+			}
+		} else if err := ctx.Err(); err != nil {
+			return err
+		}
+		ch <- j
+	}
+	return nil
+}
+
+// execute performs one dispatch unit and records its outcome. warmup
+// membership is per request: a batch straddling the warmup boundary
+// contributes only its measured members.
+func execute(ctx context.Context, opts Options, rec *recorder, start time.Time, j job) {
+	if j.single != nil {
+		measured := j.offset >= opts.Warmup
+		ok, kind := postSelect(ctx, opts, j.single)
+		rec.record("/v1/select", time.Since(start.Add(j.offset)).Seconds(), measured, ok, kind)
+		return
+	}
+	okItems, callOK, kind := postBatch(ctx, opts, j.group)
+	callMeasured := j.offset >= opts.Warmup
+	rec.recordCall("/v1/select/batch", time.Since(start.Add(j.offset)).Seconds(), callMeasured, callOK, kind)
+	for i := range j.group {
+		measured := j.offsets[i] >= opts.Warmup
+		itemOK := callOK && okItems[i]
+		itemKind := kind
+		if callOK && !okItems[i] {
+			itemKind = "batch_item"
+		}
+		rec.recordItem(time.Since(start.Add(j.offsets[i])).Seconds(), measured, itemOK, itemKind)
+	}
+}
+
+type selectBody struct {
+	Collective string             `json:"collective"`
+	Features   map[string]float64 `json:"features"`
+}
+
+func postSelect(ctx context.Context, opts Options, r *Request) (ok bool, kind string) {
+	body, err := json.Marshal(selectBody{Collective: r.Collective, Features: r.Features})
+	if err != nil {
+		return false, "encode"
+	}
+	return post(ctx, opts, "/v1/select", body)
+}
+
+func postBatch(ctx context.Context, opts Options, group []Request) (okItems []bool, callOK bool, kind string) {
+	okItems = make([]bool, len(group))
+	reqs := make([]selectBody, len(group))
+	for i, r := range group {
+		reqs[i] = selectBody{Collective: r.Collective, Features: r.Features}
+	}
+	body, err := json.Marshal(map[string]any{"requests": reqs})
+	if err != nil {
+		return okItems, false, "encode"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.BaseURL+"/v1/select/batch", bytes.NewReader(body))
+	if err != nil {
+		return okItems, false, "transport"
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return okItems, false, "transport"
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return okItems, false, statusKind(resp.StatusCode)
+	}
+	var parsed struct {
+		Results []struct {
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil || len(parsed.Results) != len(group) {
+		return okItems, false, "decode"
+	}
+	for i, res := range parsed.Results {
+		okItems[i] = res.Error == ""
+	}
+	return okItems, true, ""
+}
+
+func post(ctx context.Context, opts Options, path string, body []byte) (ok bool, kind string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return false, "transport"
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return false, "transport"
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return false, statusKind(resp.StatusCode)
+	}
+	return true, ""
+}
+
+func statusKind(code int) string {
+	if code >= 500 {
+		return "http_5xx"
+	}
+	return "http_4xx"
+}
+
+// recorder accumulates client-side statistics under one mutex; the HTTP
+// round trip dominates, so contention is negligible at loadgen rates.
+type recorder struct {
+	mu           sync.Mutex
+	overall      bucketAcc
+	endpoints    map[string]*bucketAcc
+	completed    uint64
+	errors       uint64
+	measured     uint64
+	warmup       uint64
+	errorsByKind map[string]uint64
+}
+
+type bucketAcc struct {
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func (a *bucketAcc) add(v float64) {
+	if a.counts == nil {
+		a.counts = make([]uint64, len(clientBuckets)+1)
+	}
+	a.counts[sort.SearchFloat64s(clientBuckets, v)]++
+	a.sum += v
+	a.count++
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		endpoints:    make(map[string]*bucketAcc),
+		errorsByKind: make(map[string]uint64),
+	}
+}
+
+// record handles a single-request call: one item, one endpoint sample.
+func (r *recorder) record(endpoint string, sec float64, measured, ok bool, kind string) {
+	r.recordCall(endpoint, sec, measured, ok, kind)
+	r.recordItem(sec, measured, ok, kind)
+}
+
+// recordCall tracks per-endpoint call latency (one sample per HTTP call).
+func (r *recorder) recordCall(endpoint string, sec float64, measured, ok bool, kind string) {
+	if !measured || !ok {
+		return
+	}
+	r.mu.Lock()
+	ep := r.endpoints[endpoint]
+	if ep == nil {
+		ep = &bucketAcc{}
+		r.endpoints[endpoint] = ep
+	}
+	ep.add(sec)
+	r.mu.Unlock()
+}
+
+// recordItem tracks per-request outcome and overall latency.
+func (r *recorder) recordItem(sec float64, measured, ok bool, kind string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !measured {
+		r.warmup++
+		return
+	}
+	r.measured++
+	if !ok {
+		r.errors++
+		r.errorsByKind[kind]++
+		return
+	}
+	r.completed++
+	r.overall.add(sec)
+}
+
+func (r *recorder) results(windowSeconds float64) Results {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res := Results{
+		Measured:        r.measured,
+		WarmupRequests:  r.warmup,
+		Completed:       r.completed,
+		Errors:          r.errors,
+		MeasuredSeconds: windowSeconds,
+		Latency:         obs.SummaryFromBuckets(clientBuckets, r.overall.counts, r.overall.sum, r.overall.count),
+	}
+	if windowSeconds > 0 {
+		res.ThroughputRPS = float64(r.completed) / windowSeconds
+	}
+	if len(r.endpoints) > 0 {
+		res.Endpoints = make(map[string]obs.Summary, len(r.endpoints))
+		for ep, acc := range r.endpoints {
+			res.Endpoints[ep] = obs.SummaryFromBuckets(clientBuckets, acc.counts, acc.sum, acc.count)
+		}
+	}
+	if len(r.errorsByKind) > 0 {
+		res.ErrorsByKind = make(map[string]uint64, len(r.errorsByKind))
+		for k, v := range r.errorsByKind {
+			res.ErrorsByKind[k] = v
+		}
+	}
+	return res
+}

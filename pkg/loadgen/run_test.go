@@ -1,0 +1,222 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/admin"
+	"github.com/pml-mpi/pmlmpi/pkg/analytics"
+	"github.com/pml-mpi/pmlmpi/pkg/cache"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/registry"
+	"github.com/pml-mpi/pmlmpi/pkg/selector"
+	"github.com/pml-mpi/pmlmpi/pkg/slo"
+)
+
+// newLiveServer boots the full admin surface over the committed trained
+// fixture — the same wiring cmd/pmlmpi-server uses, behind httptest.
+func newLiveServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	o := obs.NewForTest()
+	o.Logger.SetLevel(obs.LevelError)
+	r := registry.New(o, registry.Config{})
+	g, err := r.Load(filepath.Join("..", "bundle", "testdata", "trained_small.json"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	if _, err := r.Promote(g.ID()); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	tracker := slo.New(o.Registry, slo.Objectives{SelectP99: time.Millisecond, Availability: 0.999})
+	sel := selector.NewFromSource(r, o, selector.Config{
+		RingSize: 1024,
+		Cache:    cache.New(cache.Config{}, o.Registry),
+		SLO:      tracker,
+	})
+	srv := httptest.NewServer(admin.New(sel, o, admin.Config{Registry: r, SLO: tracker}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func monotone(t *testing.T, label string, s obs.Summary) {
+	t.Helper()
+	if !(s.P50US <= s.P90US && s.P90US <= s.P99US && s.P99US <= s.P999US) {
+		t.Errorf("%s quantiles not monotone: p50=%v p90=%v p99=%v p999=%v",
+			label, s.P50US, s.P90US, s.P99US, s.P999US)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	srv := newLiveServer(t)
+	opts := Options{
+		BaseURL:  srv.URL,
+		Seed:     11,
+		QPS:      600,
+		Duration: time.Second,
+		Warmup:   200 * time.Millisecond,
+		Workers:  8,
+		Logf:     t.Logf,
+	}
+	rep, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// Client side: a healthy fixture server must answer everything.
+	if rep.Client.Errors != 0 {
+		t.Fatalf("errors = %d (%v), want 0", rep.Client.Errors, rep.Client.ErrorsByKind)
+	}
+	if rep.Client.Completed == 0 || rep.Client.ThroughputRPS <= 0 {
+		t.Fatalf("completed = %d, throughput = %v", rep.Client.Completed, rep.Client.ThroughputRPS)
+	}
+	if rep.Client.Completed+rep.Client.WarmupRequests != uint64(rep.Config.Scheduled) {
+		t.Errorf("completed %d + warmup %d != scheduled %d",
+			rep.Client.Completed, rep.Client.WarmupRequests, rep.Config.Scheduled)
+	}
+	monotone(t, "client", rep.Client.Latency)
+	for ep, s := range rep.Client.Endpoints {
+		monotone(t, ep, s)
+	}
+	if _, ok := rep.Client.Endpoints["/v1/select"]; !ok {
+		t.Error("no /v1/select endpoint stats")
+	}
+	if _, ok := rep.Client.Endpoints["/v1/select/batch"]; !ok {
+		t.Error("no /v1/select/batch endpoint stats (DefaultSpec batches 20%)")
+	}
+
+	// The run config pins the exact workload for replay.
+	seq, _ := Sequence(*opts.withDefaults().Spec, opts.Seed, rep.Config.Scheduled)
+	wantHash, _ := SequenceHash(seq)
+	if rep.Config.SequenceHash != wantHash {
+		t.Errorf("report hash %s != recomputed %s", rep.Config.SequenceHash, wantHash)
+	}
+
+	// Server stamp.
+	if rep.Server.Version == "" || rep.Server.GoVersion == "" {
+		t.Errorf("server stamp incomplete: %+v", rep.Server)
+	}
+	if len(rep.Server.Collectives) != 2 {
+		t.Errorf("collectives = %v, want [allgather broadcast]", rep.Server.Collectives)
+	}
+
+	// Server-side delta: every scheduled request (warmup included — the
+	// server has no warmup concept) ran exactly one Select.
+	var selections uint64
+	for _, n := range rep.Delta.SelectionsByCollective {
+		selections += n
+	}
+	if selections != uint64(rep.Config.Scheduled) {
+		t.Errorf("server-side selections delta = %d, want %d", selections, rep.Config.Scheduled)
+	}
+	if rep.Delta.SelectLatency.Count != uint64(rep.Config.Scheduled) {
+		t.Errorf("select histogram delta count = %d, want %d",
+			rep.Delta.SelectLatency.Count, rep.Config.Scheduled)
+	}
+	monotone(t, "server delta", rep.Delta.SelectLatency)
+	// The fixture grid repeats, so the decision cache must be doing work.
+	if rep.Delta.CacheHits == 0 || rep.Delta.CacheHitRate <= 0 {
+		t.Errorf("cache delta hits=%d rate=%v, want hits under a repeating grid",
+			rep.Delta.CacheHits, rep.Delta.CacheHitRate)
+	}
+	if len(rep.Delta.RecentDecisionsByGeneration) == 0 {
+		t.Error("no per-generation decision tally scraped")
+	}
+	if len(rep.Analytics) == 0 {
+		t.Fatal("no analytics rows scraped")
+	}
+
+	// Quantile cross-validation: the /metrics histogram delta and the
+	// /debug/analytics rollup watched the same selects through different
+	// bucket layouts. A mixture's quantile lies within the min/max of its
+	// components' quantiles, so the merged metric-side estimate must land
+	// inside the analytics rows' span, widened by one bucket factor on
+	// each side (factor-2 analytics buckets × ~factor-2.5 LatencyBuckets).
+	checkQuantileAgainstAnalytics(t, "p50", rep.Delta.SelectLatency.P50US, rep.Analytics,
+		func(r analytics.Row) float64 { return r.P50US })
+	checkQuantileAgainstAnalytics(t, "p99", rep.Delta.SelectLatency.P99US, rep.Analytics,
+		func(r analytics.Row) float64 { return r.P99US })
+}
+
+func checkQuantileAgainstAnalytics(t *testing.T, label string, gotUS float64, rows []analytics.Row, pick func(analytics.Row) float64) {
+	t.Helper()
+	const tolerance = 5.0 // one bucket boundary of slack on each estimator
+	lo, hi := pick(rows[0]), pick(rows[0])
+	for _, r := range rows[1:] {
+		if v := pick(r); v < lo {
+			lo = v
+		} else if v > hi {
+			hi = v
+		}
+	}
+	if gotUS < lo/tolerance || gotUS > hi*tolerance {
+		t.Errorf("%s: metrics-delta estimate %vus outside analytics span [%v, %v]us × tolerance %v",
+			label, gotUS, lo, hi, tolerance)
+	}
+}
+
+// TestRunSequenceHashStableAcrossRuns: the byte-identical-replay
+// guarantee, end to end — two live runs with one seed report one hash.
+func TestRunSequenceHashStableAcrossRuns(t *testing.T) {
+	srv := newLiveServer(t)
+	opts := Options{
+		BaseURL:  srv.URL,
+		Seed:     23,
+		QPS:      300,
+		Duration: 400 * time.Millisecond,
+		Workers:  4,
+	}
+	a, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config.SequenceHash != b.Config.SequenceHash {
+		t.Fatalf("same seed, different workloads: %s vs %s", a.Config.SequenceHash, b.Config.SequenceHash)
+	}
+	if a.Config.Scheduled != b.Config.Scheduled {
+		t.Fatalf("scheduled %d vs %d", a.Config.Scheduled, b.Config.Scheduled)
+	}
+}
+
+func TestRunRefusesUnreachableServer(t *testing.T) {
+	_, err := Run(context.Background(), Options{
+		BaseURL: "http://127.0.0.1:1",
+		Timeout: 500 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("want error against unreachable server")
+	}
+}
+
+func TestReportWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_loadgen.json")
+	rep := &Report{Schema: ReportSchema, Config: RunConfig{SpecName: "x", Seed: 1}}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if back.Schema != ReportSchema || back.Config.SpecName != "x" {
+		t.Fatalf("round trip = %+v", back)
+	}
+	// No temp litter after a successful rename.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}

@@ -1,0 +1,303 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/pml-mpi/pmlmpi/pkg/analytics"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/registry"
+)
+
+// probe scrapes the server's observability surface before and after a run
+// so the report can carry true per-run deltas rather than
+// since-server-start cumulatives.
+type probe struct {
+	base   string
+	client *http.Client
+}
+
+func newProbe(base string, client *http.Client) *probe {
+	return &probe{base: strings.TrimRight(base, "/"), client: client}
+}
+
+func (p *probe) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// serverHealth is the subset of /healthz the report stamps.
+type serverHealth struct {
+	Status        string   `json:"status"`
+	ServerVersion string   `json:"server_version"`
+	GoVersion     string   `json:"go_version"`
+	ModelVersion  string   `json:"model_version"`
+	TrainedOn     []string `json:"trained_on"`
+	Generation    *struct {
+		ID   uint64 `json:"id"`
+		Hash string `json:"hash"`
+	} `json:"generation"`
+	Collectives   map[string]json.RawMessage `json:"collectives"`
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+}
+
+func (p *probe) health(ctx context.Context) (serverHealth, error) {
+	var h serverHealth
+	err := p.getJSON(ctx, "/healthz", &h)
+	return h, err
+}
+
+func (p *probe) analytics(ctx context.Context) ([]analytics.Row, error) {
+	var resp struct {
+		Rows []analytics.Row `json:"rows"`
+	}
+	err := p.getJSON(ctx, "/debug/analytics", &resp)
+	return resp.Rows, err
+}
+
+// shadow returns the /debug/shadow report, or nil when the endpoint is not
+// mounted (shadow evaluation disabled).
+func (p *probe) shadow(ctx context.Context) (*registry.ShadowReport, error) {
+	var rep registry.ShadowReport
+	err := p.getJSON(ctx, "/debug/shadow", &rep)
+	if err != nil {
+		if strings.Contains(err.Error(), "404") {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// decisionsByGeneration tallies the /debug/decisions ring by model
+// generation. The ring is bounded, so this is a recent-window sample — the
+// fleet-level "which generation answered" signal, not an exact count.
+func (p *probe) decisionsByGeneration(ctx context.Context) (map[string]uint64, error) {
+	var resp struct {
+		Decisions []struct {
+			Generation uint64 `json:"generation"`
+		} `json:"decisions"`
+	}
+	if err := p.getJSON(ctx, "/debug/decisions?limit=0", &resp); err != nil {
+		return nil, err
+	}
+	tally := make(map[string]uint64)
+	for _, d := range resp.Decisions {
+		tally[strconv.FormatUint(d.Generation, 10)]++
+	}
+	return tally, nil
+}
+
+// metricsSnapshot is the scraped subset of /metrics the report diffs:
+// decision-cache traffic, per-collective selection counts, and the merged
+// pmlmpi_select_duration_seconds histogram.
+type metricsSnapshot struct {
+	cacheHits   float64
+	cacheMisses float64
+	selections  map[string]float64 // by collective
+	pathCounts  map[string]float64 // select duration _count by path label
+	bounds      []float64          // sorted finite le bounds
+	buckets     map[float64]float64
+	sum         float64
+	count       float64
+}
+
+func (p *probe) metrics(ctx context.Context) (*metricsSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return parseMetrics(string(body))
+}
+
+func parseMetrics(text string) (*metricsSnapshot, error) {
+	snap := &metricsSnapshot{
+		selections: make(map[string]float64),
+		pathCounts: make(map[string]float64),
+		buckets:    make(map[float64]float64),
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, ok := parsePromLine(line)
+		if !ok {
+			continue
+		}
+		switch name {
+		case "pmlmpi_cache_hits_total":
+			snap.cacheHits += value
+		case "pmlmpi_cache_misses_total":
+			snap.cacheMisses += value
+		case "pmlmpi_selections_total":
+			snap.selections[labels["collective"]] += value
+		case "pmlmpi_select_duration_seconds_sum":
+			snap.sum += value
+		case "pmlmpi_select_duration_seconds_count":
+			snap.count += value
+			snap.pathCounts[labels["path"]] += value
+		case "pmlmpi_select_duration_seconds_bucket":
+			le, err := parseLE(labels["le"])
+			if err != nil {
+				return nil, fmt.Errorf("bad le label in %q: %w", line, err)
+			}
+			snap.buckets[le] += value
+		}
+	}
+	for le := range snap.buckets {
+		if !math.IsInf(le, 1) {
+			snap.bounds = append(snap.bounds, le)
+		}
+	}
+	sort.Float64s(snap.bounds)
+	return snap, nil
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parsePromLine parses one Prometheus text-format sample:
+// name{k="v",...} value. Label values in this codebase never contain
+// escaped quotes, so a simple quote scan suffices.
+func parsePromLine(line string) (name string, labels map[string]string, value float64, ok bool) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return "", nil, 0, false
+		}
+		for _, pair := range splitLabels(line[i+1 : end]) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				continue
+			}
+			labels[pair[:eq]] = strings.Trim(pair[eq+1:], `"`)
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", nil, 0, false
+		}
+		name = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	// The value is the first whitespace-separated token (a timestamp may
+	// follow in the general format; this codebase emits none).
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	return name, labels, v, true
+}
+
+// splitLabels splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, s[start:])
+	}
+	return parts
+}
+
+// delta computes after-minus-before for every tracked counter family and
+// folds the merged histogram delta into an obs.Summary. Negative deltas
+// (server restarted mid-run) clamp to zero.
+func (after *metricsSnapshot) delta(before *metricsSnapshot) ServerDelta {
+	d := ServerDelta{
+		CacheHits:              clampU64(after.cacheHits - before.cacheHits),
+		CacheMisses:            clampU64(after.cacheMisses - before.cacheMisses),
+		SelectionsByCollective: make(map[string]uint64),
+		SelectPathCounts:       make(map[string]uint64),
+	}
+	if total := d.CacheHits + d.CacheMisses; total > 0 {
+		d.CacheHitRate = float64(d.CacheHits) / float64(total)
+	}
+	for c, v := range after.selections {
+		if n := clampU64(v - before.selections[c]); n > 0 {
+			d.SelectionsByCollective[c] = n
+		}
+	}
+	for p, v := range after.pathCounts {
+		if n := clampU64(v - before.pathCounts[p]); n > 0 {
+			d.SelectPathCounts[p] = n
+		}
+	}
+
+	// Histogram delta: cumulative per-le differences, then de-cumulated
+	// into per-bucket counts (+Inf last) for SummaryFromBuckets.
+	bounds := after.bounds
+	counts := make([]uint64, len(bounds)+1)
+	var prev float64
+	for i, le := range bounds {
+		cum := after.buckets[le] - before.buckets[le]
+		counts[i] = clampU64(cum - prev)
+		prev = cum
+	}
+	inf := math.Inf(1)
+	counts[len(bounds)] = clampU64((after.buckets[inf] - before.buckets[inf]) - prev)
+	count := clampU64(after.count - before.count)
+	d.SelectLatency = obs.SummaryFromBuckets(bounds, counts, after.sum-before.sum, count)
+	return d
+}
+
+func clampU64(v float64) uint64 {
+	if v <= 0 {
+		return 0
+	}
+	return uint64(v + 0.5)
+}

@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+const promBefore = `# HELP pmlmpi_cache_hits_total Decision-cache hits.
+# TYPE pmlmpi_cache_hits_total counter
+pmlmpi_cache_hits_total 10
+pmlmpi_cache_misses_total 5
+pmlmpi_selections_total{algorithm="ring",collective="allgather"} 12
+pmlmpi_selections_total{algorithm="binomial",collective="broadcast"} 3
+pmlmpi_select_duration_seconds_bucket{collective="allgather",path="cold",le="0.0001"} 4
+pmlmpi_select_duration_seconds_bucket{collective="allgather",path="cold",le="0.001"} 10
+pmlmpi_select_duration_seconds_bucket{collective="allgather",path="cold",le="+Inf"} 12
+pmlmpi_select_duration_seconds_sum{collective="allgather",path="cold"} 0.01
+pmlmpi_select_duration_seconds_count{collective="allgather",path="cold"} 12
+pmlmpi_select_duration_seconds_bucket{collective="broadcast",path="cache_hit",le="0.0001"} 3
+pmlmpi_select_duration_seconds_bucket{collective="broadcast",path="cache_hit",le="0.001"} 3
+pmlmpi_select_duration_seconds_bucket{collective="broadcast",path="cache_hit",le="+Inf"} 3
+pmlmpi_select_duration_seconds_sum{collective="broadcast",path="cache_hit"} 0.0001
+pmlmpi_select_duration_seconds_count{collective="broadcast",path="cache_hit"} 3
+`
+
+const promAfter = `pmlmpi_cache_hits_total 110
+pmlmpi_cache_misses_total 25
+pmlmpi_selections_total{algorithm="ring",collective="allgather"} 92
+pmlmpi_selections_total{algorithm="binomial",collective="broadcast"} 43
+pmlmpi_select_duration_seconds_bucket{collective="allgather",path="cold",le="0.0001"} 54
+pmlmpi_select_duration_seconds_bucket{collective="allgather",path="cold",le="0.001"} 90
+pmlmpi_select_duration_seconds_bucket{collective="allgather",path="cold",le="+Inf"} 92
+pmlmpi_select_duration_seconds_sum{collective="allgather",path="cold"} 0.05
+pmlmpi_select_duration_seconds_count{collective="allgather",path="cold"} 92
+pmlmpi_select_duration_seconds_bucket{collective="broadcast",path="cache_hit",le="0.0001"} 43
+pmlmpi_select_duration_seconds_bucket{collective="broadcast",path="cache_hit",le="0.001"} 43
+pmlmpi_select_duration_seconds_bucket{collective="broadcast",path="cache_hit",le="+Inf"} 43
+pmlmpi_select_duration_seconds_sum{collective="broadcast",path="cache_hit"} 0.0011
+pmlmpi_select_duration_seconds_count{collective="broadcast",path="cache_hit"} 43
+`
+
+func TestParseMetrics(t *testing.T) {
+	snap, err := parseMetrics(promBefore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.cacheHits != 10 || snap.cacheMisses != 5 {
+		t.Errorf("cache = %v/%v", snap.cacheHits, snap.cacheMisses)
+	}
+	if snap.selections["allgather"] != 12 || snap.selections["broadcast"] != 3 {
+		t.Errorf("selections = %v", snap.selections)
+	}
+	if snap.count != 15 {
+		t.Errorf("merged histogram count = %v, want 15", snap.count)
+	}
+	if len(snap.bounds) != 2 || snap.bounds[0] != 0.0001 || snap.bounds[1] != 0.001 {
+		t.Errorf("bounds = %v", snap.bounds)
+	}
+	// Merged across the two label sets: le=0.0001 holds 4+3.
+	if snap.buckets[0.0001] != 7 {
+		t.Errorf("merged le=0.0001 = %v, want 7", snap.buckets[0.0001])
+	}
+	if snap.buckets[math.Inf(1)] != 15 {
+		t.Errorf("merged +Inf = %v, want 15", snap.buckets[math.Inf(1)])
+	}
+	if snap.pathCounts["cold"] != 12 || snap.pathCounts["cache_hit"] != 3 {
+		t.Errorf("path counts = %v", snap.pathCounts)
+	}
+}
+
+func TestMetricsDelta(t *testing.T) {
+	before, err := parseMetrics(promBefore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := parseMetrics(promAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := after.delta(before)
+	if d.CacheHits != 100 || d.CacheMisses != 20 {
+		t.Errorf("cache delta = %d/%d", d.CacheHits, d.CacheMisses)
+	}
+	if got := d.CacheHitRate; math.Abs(got-100.0/120.0) > 1e-9 {
+		t.Errorf("hit rate = %v", got)
+	}
+	if d.SelectionsByCollective["allgather"] != 80 || d.SelectionsByCollective["broadcast"] != 40 {
+		t.Errorf("selections delta = %v", d.SelectionsByCollective)
+	}
+	if d.SelectLatency.Count != 120 {
+		t.Errorf("latency delta count = %d, want 120", d.SelectLatency.Count)
+	}
+	// Delta buckets: le=1e-4 gained (54+43)-(4+3)=90, le=1e-3 cumulative
+	// gained 120 → median sits in the first bucket.
+	if d.SelectLatency.P50US <= 0 || d.SelectLatency.P50US > 100 {
+		t.Errorf("delta p50 = %vus, want within first bucket (<=100us)", d.SelectLatency.P50US)
+	}
+	if d.SelectPathCounts["cold"] != 80 || d.SelectPathCounts["cache_hit"] != 40 {
+		t.Errorf("path delta = %v", d.SelectPathCounts)
+	}
+}
+
+func TestParsePromLine(t *testing.T) {
+	name, labels, v, ok := parsePromLine(`x_total{a="1",b="two words, quoted"} 42`)
+	if !ok || name != "x_total" || v != 42 {
+		t.Fatalf("parse = %q %v %v %v", name, labels, v, ok)
+	}
+	if labels["a"] != "1" || labels["b"] != "two words, quoted" {
+		t.Errorf("labels = %v", labels)
+	}
+	if name, _, v, ok := parsePromLine("plain_metric 1.5e-3"); !ok || name != "plain_metric" || v != 0.0015 {
+		t.Errorf("bare metric parse = %q %v %v", name, v, ok)
+	}
+	if _, _, _, ok := parsePromLine("garbage"); ok {
+		t.Error("garbage line must not parse")
+	}
+}

@@ -1,0 +1,178 @@
+// Package loadgen is a deterministic, open-loop load generator for the
+// PML-MPI selection service. A seeded workload Spec expands into a fully
+// reproducible request sequence (same seed + same spec = byte-identical
+// requests), which the engine replays against a live server's /v1/select
+// and /v1/select/batch endpoints at a target arrival rate. The run report
+// combines client-observed latency quantiles with scraped server-side
+// counter deltas, so one artifact captures both sides of the benchmark.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Scenario is one weighted cell of the workload mix: a collective crossed
+// with topology and message-size grids. Each generated request draws one
+// value from every axis.
+type Scenario struct {
+	// Name labels the scenario in reports and generated requests.
+	Name string `json:"name"`
+	// Collective is the target collective operation (must exist in the
+	// served bundle for the request to succeed).
+	Collective string `json:"collective"`
+	// Weight is the scenario's relative share of generated traffic.
+	Weight float64 `json:"weight"`
+	// NumNodes and PPN are the communicator topology grids (nodes ×
+	// processes per node), drawn uniformly.
+	NumNodes []int `json:"num_nodes"`
+	PPN      []int `json:"ppn"`
+	// Log2MsgSizes is the grid of log2(message bytes) values.
+	Log2MsgSizes []int `json:"log2_msg_sizes"`
+	// SizeSkew biases the message-size draw toward the small end of
+	// Log2MsgSizes: the index is chosen as floor(len * u^SizeSkew) for
+	// uniform u, so 1 (or 0, the default standing for 1) is uniform and
+	// larger values make big messages progressively rarer — the heavy
+	// tail of a DL training mix.
+	SizeSkew float64 `json:"size_skew,omitempty"`
+}
+
+// Spec is a complete workload description. It is pure data: expanding it
+// with a seed (see Sequence) is the only source of randomness, so a
+// committed spec file plus a seed pins a benchmark workload forever.
+type Spec struct {
+	// Name identifies the spec in reports.
+	Name string `json:"name"`
+	// System holds the host/interconnect feature values merged into every
+	// request; scenario axes (num_nodes, ppn, log2_msg_size) override any
+	// colliding key.
+	System map[string]float64 `json:"system"`
+	// Scenarios is the weighted mix.
+	Scenarios []Scenario `json:"scenarios"`
+	// BatchFraction is the fraction of requests delivered via
+	// /v1/select/batch instead of /v1/select; BatchSize caps the items
+	// coalesced per batch call.
+	BatchFraction float64 `json:"batch_fraction"`
+	BatchSize     int     `json:"batch_size,omitempty"`
+}
+
+// Validate checks the spec for internal consistency.
+func (s *Spec) Validate() error {
+	if len(s.Scenarios) == 0 {
+		return fmt.Errorf("spec %q has no scenarios", s.Name)
+	}
+	for i, sc := range s.Scenarios {
+		switch {
+		case sc.Collective == "":
+			return fmt.Errorf("scenario %d (%q): missing collective", i, sc.Name)
+		case sc.Weight <= 0:
+			return fmt.Errorf("scenario %d (%q): weight must be > 0, got %v", i, sc.Name, sc.Weight)
+		case len(sc.NumNodes) == 0 || len(sc.PPN) == 0 || len(sc.Log2MsgSizes) == 0:
+			return fmt.Errorf("scenario %d (%q): num_nodes, ppn and log2_msg_sizes must be non-empty", i, sc.Name)
+		case sc.SizeSkew < 0:
+			return fmt.Errorf("scenario %d (%q): size_skew must be >= 0, got %v", i, sc.Name, sc.SizeSkew)
+		}
+	}
+	if s.BatchFraction < 0 || s.BatchFraction > 1 {
+		return fmt.Errorf("batch_fraction must be in [0,1], got %v", s.BatchFraction)
+	}
+	if s.BatchFraction > 0 && s.BatchSize < 1 {
+		return fmt.Errorf("batch_size must be >= 1 when batch_fraction > 0, got %d", s.BatchSize)
+	}
+	return nil
+}
+
+// ParseSpec decodes and validates a JSON workload spec.
+func ParseSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("decode spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads a workload spec from a file.
+func LoadSpec(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	return ParseSpec(f)
+}
+
+// DefaultSpec is the committed benchmark workload: a heavy-tailed deep-
+// learning collective mix sized from the DLcomm payload grids (per-GPU
+// buffers from 1 KB control messages up to 100 MB gradient blocks,
+// communicator shapes from a handful of nodes × 2–12 GPUs each). It
+// targets the allgather and broadcast collectives served by the committed
+// trained fixture, so a stock server answers every request.
+func DefaultSpec() Spec {
+	return Spec{
+		Name: "dlcomm-mix/v1",
+		System: map[string]float64{
+			"max_clock_ghz":   2.6,
+			"l3_cache_mib":    32,
+			"mem_bw_gbs":      180,
+			"core_count":      32,
+			"thread_count":    64,
+			"sockets":         2,
+			"numa_nodes":      4,
+			"pcie_lanes":      64,
+			"pcie_gen":        4,
+			"link_speed_gbps": 100,
+			"link_width":      4,
+		},
+		Scenarios: []Scenario{
+			{
+				// Activation/embedding exchange: frequent, small-to-medium
+				// payloads, skewed small.
+				Name:         "allgather/dl-activations",
+				Collective:   "allgather",
+				Weight:       0.45,
+				NumNodes:     []int{2, 4, 8, 16},
+				PPN:          []int{2, 4, 8, 12},
+				Log2MsgSizes: []int{10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21},
+				SizeSkew:     2,
+			},
+			{
+				// Gradient blocks: rare but huge (8 MB – 128 MB), the heavy
+				// tail of the mix.
+				Name:         "allgather/dl-gradients",
+				Collective:   "allgather",
+				Weight:       0.15,
+				NumNodes:     []int{2, 4},
+				PPN:          []int{8, 12},
+				Log2MsgSizes: []int{23, 24, 25, 26, 27},
+			},
+			{
+				// Parameter/model broadcast at step boundaries.
+				Name:         "broadcast/model-sync",
+				Collective:   "broadcast",
+				Weight:       0.30,
+				NumNodes:     []int{2, 4, 8, 16, 32},
+				PPN:          []int{4, 8, 12},
+				Log2MsgSizes: []int{10, 12, 14, 16, 18, 20, 22, 24},
+				SizeSkew:     1.5,
+			},
+			{
+				// Tiny control-plane broadcasts (flags, counters).
+				Name:         "broadcast/control-small",
+				Collective:   "broadcast",
+				Weight:       0.10,
+				NumNodes:     []int{2, 4, 8, 16, 32, 64},
+				PPN:          []int{1, 2, 4},
+				Log2MsgSizes: []int{4, 6, 8, 10},
+			},
+		},
+		BatchFraction: 0.2,
+		BatchSize:     16,
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import "sort"
+
+// Summary is a compact latency rollup computed from histogram bucket counts:
+// total count, sum, and bucket-interpolated quantiles. It is the shared
+// report currency of the observability stack — the SLO tracker, the loadgen
+// report, and tests all speak Summary, so client-side and server-side
+// measurements of the same traffic are directly comparable.
+//
+// Quantiles are estimated Prometheus histogram_quantile style: find the
+// bucket holding the target rank and interpolate linearly between its
+// bounds, so each estimate carries at most one bucket boundary of error.
+// Fields mirror /debug/analytics conventions: quantiles and the mean in
+// microseconds, the sum in seconds.
+type Summary struct {
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	MeanUS     float64 `json:"mean_us"`
+	P50US      float64 `json:"p50_us"`
+	P90US      float64 `json:"p90_us"`
+	P99US      float64 `json:"p99_us"`
+	P999US     float64 `json:"p999_us"`
+}
+
+// SummaryFromBuckets computes a Summary from non-cumulative bucket counts.
+// bounds are the finite bucket upper bounds (strictly ascending, seconds);
+// counts must have len(bounds)+1 slots, the last being the +Inf bucket.
+// A zero count yields the zero Summary. Observations in the +Inf bucket
+// clamp to the last finite bound — the best available estimate without a
+// tracked max.
+func SummaryFromBuckets(bounds []float64, counts []uint64, sum float64, count uint64) Summary {
+	if count == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		Count:      count,
+		SumSeconds: sum,
+		MeanUS:     sum / float64(count) * 1e6,
+		P50US:      bucketQuantile(bounds, counts, count, 0.50) * 1e6,
+		P90US:      bucketQuantile(bounds, counts, count, 0.90) * 1e6,
+		P99US:      bucketQuantile(bounds, counts, count, 0.99) * 1e6,
+		P999US:     bucketQuantile(bounds, counts, count, 0.999) * 1e6,
+	}
+	return s
+}
+
+// bucketQuantile estimates the q-quantile (0 < q < 1) in seconds from
+// non-cumulative bucket counts (last slot +Inf).
+func bucketQuantile(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, n := range counts {
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		upper := bounds[i]
+		if n == 0 {
+			return upper
+		}
+		frac := (rank - float64(cum-n)) / float64(n)
+		return lower + (upper-lower)*frac
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Snapshot returns one series' non-cumulative bucket counts (+Inf last),
+// observation sum, and observation count.
+func (h *Histogram) Snapshot(labelValues ...string) (counts []uint64, sum float64, count uint64) {
+	return h.f.get(labelValues).hist.snapshot(len(h.f.buckets))
+}
+
+// Summary rolls one series up into a quantile Summary.
+func (h *Histogram) Summary(labelValues ...string) Summary {
+	counts, sum, count := h.Snapshot(labelValues...)
+	return SummaryFromBuckets(h.f.buckets, counts, sum, count)
+}
+
+// BucketCounts converts a sample set into the non-cumulative bucket-count
+// layout SummaryFromBuckets expects (len(bounds)+1 slots, +Inf last).
+// Mainly for tests and offline summarization of raw latency slices.
+func BucketCounts(bounds []float64, samples []float64) (counts []uint64, sum float64) {
+	counts = make([]uint64, len(bounds)+1)
+	for _, v := range samples {
+		counts[sort.SearchFloat64s(bounds, v)]++
+		sum += v
+	}
+	return counts, sum
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// trueQuantile returns the empirical q-quantile of samples (nearest-rank).
+func trueQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// bucketIndex returns which bucket (0..len(bounds), last = +Inf) v falls in.
+func bucketIndex(bounds []float64, v float64) int {
+	return sort.SearchFloat64s(bounds, v)
+}
+
+// TestSummaryQuantilesWithinOneBucket is the property test for bucket
+// quantile estimation: for random sample sets, every estimated quantile
+// must land in the same bucket as the true sample quantile or an adjacent
+// one — i.e. the estimate is within one bucket boundary of the truth.
+func TestSummaryQuantilesWithinOneBucket(t *testing.T) {
+	bounds := LatencyBuckets
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(2000)
+		samples := make([]float64, n)
+		for i := range samples {
+			// Log-uniform across 1µs..0.5s so every bucket regime gets hit
+			// across seeds, plus occasional heavy-tail outliers.
+			exp := -6 + rng.Float64()*5.7
+			samples[i] = math.Pow(10, exp)
+			if rng.Float64() < 0.01 {
+				samples[i] = 0.3 + rng.Float64()
+			}
+		}
+		counts, sum := BucketCounts(bounds, samples)
+		s := SummaryFromBuckets(bounds, counts, sum, uint64(n))
+
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		for _, tc := range []struct {
+			q   float64
+			est float64
+		}{
+			{0.50, s.P50US / 1e6},
+			{0.90, s.P90US / 1e6},
+			{0.99, s.P99US / 1e6},
+			{0.999, s.P999US / 1e6},
+		} {
+			truth := trueQuantile(sorted, tc.q)
+			bTrue := bucketIndex(bounds, truth)
+			bEst := bucketIndex(bounds, tc.est)
+			if d := bEst - bTrue; d < -1 || d > 1 {
+				t.Errorf("seed %d q=%v: estimate %.3gs in bucket %d, true %.3gs in bucket %d (off by %d buckets)",
+					seed, tc.q, tc.est, bEst, truth, bTrue, d)
+			}
+		}
+		if s.Count != uint64(n) {
+			t.Errorf("seed %d: count = %d, want %d", seed, s.Count, n)
+		}
+		if math.Abs(s.SumSeconds-sum) > 1e-9 {
+			t.Errorf("seed %d: sum = %v, want %v", seed, s.SumSeconds, sum)
+		}
+	}
+}
+
+// TestSummaryQuantilesMonotone pins p50 <= p90 <= p99 <= p999 for random
+// bucket fills — the invariant every report consumer leans on.
+func TestSummaryQuantilesMonotone(t *testing.T) {
+	bounds := LatencyBuckets
+	for seed := int64(100); seed < 130; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		counts := make([]uint64, len(bounds)+1)
+		var total uint64
+		for i := range counts {
+			c := uint64(rng.Intn(50))
+			counts[i] = c
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		s := SummaryFromBuckets(bounds, counts, 1, total)
+		if !(s.P50US <= s.P90US && s.P90US <= s.P99US && s.P99US <= s.P999US) {
+			t.Errorf("seed %d: quantiles not monotone: %+v", seed, s)
+		}
+	}
+}
+
+// TestSummaryGoldenJSON pins the exact JSON field set and naming of
+// obs.Summary — the shape BENCH_loadgen.json and /debug/slo embed. Changing
+// this is a report-schema break and must be deliberate.
+func TestSummaryGoldenJSON(t *testing.T) {
+	s := Summary{
+		Count:      1000,
+		SumSeconds: 1.25,
+		MeanUS:     1250,
+		P50US:      900.5,
+		P90US:      2400,
+		P99US:      8100.25,
+		P999US:     20000,
+	}
+	got, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"count":1000,"sum_seconds":1.25,"mean_us":1250,"p50_us":900.5,"p90_us":2400,"p99_us":8100.25,"p999_us":20000}`
+	if string(got) != want {
+		t.Errorf("Summary JSON shape changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := SummaryFromBuckets(LatencyBuckets, make([]uint64, len(LatencyBuckets)+1), 0, 0)
+	if s != (Summary{}) {
+		t.Errorf("empty summary = %+v, want zero value", s)
+	}
+}
+
+// TestSummaryInfBucketClamps pins the +Inf behavior: with all mass beyond
+// the last finite bound, quantiles report that bound rather than inventing
+// numbers.
+func TestSummaryInfBucketClamps(t *testing.T) {
+	counts := make([]uint64, len(LatencyBuckets)+1)
+	counts[len(counts)-1] = 10
+	s := SummaryFromBuckets(LatencyBuckets, counts, 50, 10)
+	last := LatencyBuckets[len(LatencyBuckets)-1] * 1e6
+	if s.P50US != last || s.P999US != last {
+		t.Errorf("inf-bucket quantiles = %v/%v, want clamp to %v", s.P50US, s.P999US, last)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_hist", "test", LatencyBuckets, "path")
+	for i := 0; i < 100; i++ {
+		h.Observe(2e-6, "a") // well inside bucket (1µs, 2.5µs]
+	}
+	s := h.Summary("a")
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50US < 1 || s.P50US > 2.5 {
+		t.Errorf("p50 = %vµs, want within the (1, 2.5]µs bucket", s.P50US)
+	}
+	if other := h.Summary("b"); other.Count != 0 {
+		t.Errorf("untouched series count = %d", other.Count)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable time source for WindowRing tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestWindowRingRecordAndSnapshot(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowRing(time.Second, 60, LatencyBuckets)
+	w.SetClock(clk.now)
+
+	for i := 0; i < 10; i++ {
+		w.Record(1e-5, true)
+	}
+	w.Record(0.2, false)
+
+	snap := w.Snapshot(time.Minute)
+	if snap.Count != 11 || snap.Errors != 1 {
+		t.Fatalf("count/errors = %d/%d, want 11/1", snap.Count, snap.Errors)
+	}
+	s := w.Summary(time.Minute)
+	if s.Count != 11 {
+		t.Fatalf("summary count = %d", s.Count)
+	}
+	if s.P50US < 5 || s.P50US > 10 {
+		t.Errorf("p50 = %vµs, want inside the (5, 10]µs bucket", s.P50US)
+	}
+}
+
+// TestWindowRingExpiry pins the rolling behavior: observations leave a
+// short window as the clock passes, while a longer window still sees them.
+func TestWindowRingExpiry(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowRing(time.Second, 600, nil)
+	w.SetClock(clk.now)
+
+	w.Record(1e-4, false)
+	clk.advance(90 * time.Second)
+	w.Record(1e-5, true)
+
+	oneMin := w.Snapshot(time.Minute)
+	if oneMin.Count != 1 || oneMin.Errors != 0 {
+		t.Errorf("1m window = %d/%d errors, want only the fresh success", oneMin.Count, oneMin.Errors)
+	}
+	fiveMin := w.Snapshot(5 * time.Minute)
+	if fiveMin.Count != 2 || fiveMin.Errors != 1 {
+		t.Errorf("5m window = %d/%d errors, want both observations", fiveMin.Count, fiveMin.Errors)
+	}
+}
+
+// TestWindowRingSlotRecycling pins that a slot written in a new period
+// drops its stale contents instead of merging epochs.
+func TestWindowRingSlotRecycling(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowRing(time.Second, 4, nil) // tiny ring: 4s capacity
+	w.SetClock(clk.now)
+
+	for i := 0; i < 100; i++ {
+		w.Record(1e-5, true)
+	}
+	// One full ring revolution later, the old slot indices are reused.
+	clk.advance(4 * time.Second)
+	w.Record(1e-5, true)
+
+	snap := w.Snapshot(4 * time.Second)
+	if snap.Count != 1 {
+		t.Errorf("post-revolution count = %d, want 1 (stale epoch must not leak)", snap.Count)
+	}
+}
+
+func TestWindowRingClampsToCapacity(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowRing(time.Second, 10, nil)
+	w.SetClock(clk.now)
+	w.Record(1e-5, true)
+	// Asking for more than MaxWindow must clamp, not panic or wrap.
+	if got := w.Snapshot(time.Hour).Count; got != 1 {
+		t.Errorf("clamped snapshot count = %d, want 1", got)
+	}
+	if w.MaxWindow() != 10*time.Second {
+		t.Errorf("MaxWindow = %v", w.MaxWindow())
+	}
+}
+
+func TestWindowRingConcurrent(t *testing.T) {
+	w := NewWindowRing(time.Second, 60, nil)
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				w.Record(1e-5, i%10 != 0)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := w.Snapshot(time.Minute)
+	if snap.Count != goroutines*perG {
+		t.Errorf("count = %d, want %d", snap.Count, goroutines*perG)
+	}
+	if snap.Errors != goroutines*perG/10 {
+		t.Errorf("errors = %d, want %d", snap.Errors, goroutines*perG/10)
+	}
+}

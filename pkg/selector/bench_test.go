@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/cache"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/slo"
 	"github.com/pml-mpi/pmlmpi/pkg/synth"
 )
 
@@ -110,7 +112,8 @@ func BenchmarkSelectBatch(b *testing.B) {
 
 // BenchmarkSelectInstrumented is the telemetry overhead guard: it runs the
 // warm (cache-hit) and cold paths with the full deep-telemetry stack active
-// at three trace sampling rates. The acceptance bar is that production
+// — including the SLO window bookkeeping every production Select feeds — at
+// three trace sampling rates. The acceptance bar is that production
 // sampling (rate=0.01) stays within 10% of sampling disabled (rate=0) on
 // the matching path — i.e. full instrumentation must not tax the hot path.
 // Compare ns/op between the rate=0 and rate=0.01 sub-benchmarks; rate=1
@@ -120,6 +123,10 @@ func BenchmarkSelectInstrumented(b *testing.B) {
 	for _, rate := range []float64{0, 0.01, 1} {
 		for _, warm := range []bool{true, false} {
 			s := benchSelector(b, 64, 8, warm)
+			s.slo = slo.New(s.o.Registry, slo.Objectives{
+				SelectP99:    time.Millisecond,
+				Availability: 0.999,
+			})
 			s.o.Traces.SetSampleRate(rate)
 			ctx := context.Background()
 			path := "cold"

@@ -80,6 +80,17 @@ type Config struct {
 	// candidate model can be evaluated against live traffic off the
 	// response path (see the registry package).
 	Shadow ShadowSink
+	// SLO, when non-nil, receives every Select outcome (latency + success
+	// flag) so rolling SLO windows track the serving path. The sink must be
+	// cheap and non-blocking; pkg/slo's Tracker qualifies.
+	SLO SLOSink
+}
+
+// SLOSink receives per-Select outcomes for rolling SLO evaluation.
+// Implemented by *slo.Tracker; an interface here keeps the selector free of
+// a hard dependency on the slo package.
+type SLOSink interface {
+	Record(seconds float64, ok bool)
 }
 
 // Selector performs instrumented algorithm selection over the active bundle
@@ -95,6 +106,7 @@ type Selector struct {
 	quantum    float64
 	agg        *analytics.Aggregator
 	shadow     ShadowSink
+	slo        SLOSink
 
 	batchWorkers  int
 	parallelTrees int
@@ -167,6 +179,7 @@ func NewFromSource(src Source, o *obs.Obs, cfg Config) *Selector {
 		parallelTrees: cfg.ParallelTreeThreshold,
 		treeWorkers:   treeWorkers,
 		shadow:        cfg.Shadow,
+		slo:           cfg.SLO,
 		agg:           analytics.New(nil),
 		selections: reg.Counter("pmlmpi_selections_total",
 			"Completed algorithm selections.", "collective", "algorithm"),
@@ -257,6 +270,23 @@ func (s *Selector) AlgorithmName(collective string, class int) string {
 // calls when no cache is configured) take the fully traced path: one span
 // per stage, histogram observations, and a structured log record.
 func (s *Selector) Select(ctx context.Context, collective string, features map[string]float64) (*Decision, error) {
+	if s.slo == nil {
+		return s.doSelect(ctx, collective, features)
+	}
+	d, err := s.doSelect(ctx, collective, features)
+	// Feed the SLO windows with the decision's own measured latency (no
+	// extra clock reads on the hot path); failures count against the
+	// availability budget with no latency contribution.
+	if err != nil {
+		s.slo.Record(0, false)
+	} else {
+		s.slo.Record(float64(d.LatencyNS)/1e9, true)
+	}
+	return d, err
+}
+
+// doSelect is the selection path proper; Select wraps it with SLO feeding.
+func (s *Selector) doSelect(ctx context.Context, collective string, features map[string]float64) (*Decision, error) {
 	b, gen := s.src.Active()
 	if b == nil {
 		s.selErrors.Inc(collective, "no_active_bundle")
