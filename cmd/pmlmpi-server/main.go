@@ -37,6 +37,7 @@ type options struct {
 	cacheTTL      time.Duration
 	batchWorkers  int
 	parallelTrees int
+	forestEval    string
 
 	registryKeep   int
 	bundleWatch    bool
@@ -67,7 +68,8 @@ func main() {
 		cacheTTL     = flag.Duration("cache-ttl", 10*time.Minute, "decision-cache entry lifetime (0 = never expire)")
 
 		batchWorkers  = flag.Int("batch-workers", 0, "worker-pool size for /v1/select/batch (0 = GOMAXPROCS)")
-		parallelTrees = flag.Int("parallel-trees", 0, "evaluate forests with at least this many trees concurrently (0 disables)")
+		parallelTrees = flag.Int("parallel-trees", 0, "evaluate forests with at least this many trees concurrently (0 disables; pointer evaluator only)")
+		forestEval    = flag.String("forest-eval", selector.EvalCompiled, "forest evaluator: compiled (SoA fast path) or pointer (reference walk)")
 
 		registryKeep   = flag.Int("registry-keep", 4, "model generations kept resident for promote/rollback")
 		bundleWatch    = flag.Bool("bundle-watch", false, "poll the bundle file and hot-swap changed content automatically")
@@ -97,6 +99,7 @@ func main() {
 		cacheTTL:      *cacheTTL,
 		batchWorkers:  *batchWorkers,
 		parallelTrees: *parallelTrees,
+		forestEval:    *forestEval,
 
 		registryKeep:   *registryKeep,
 		bundleWatch:    *bundleWatch,
@@ -123,6 +126,11 @@ func main() {
 func run(o *obs.Obs, opts options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if !selector.ValidEvalMode(opts.forestEval) {
+		return fmt.Errorf("unknown -forest-eval mode %q (want %q or %q)",
+			opts.forestEval, selector.EvalCompiled, selector.EvalPointer)
+	}
 
 	o.Traces.SetCapacity(opts.traceCapacity)
 	o.Traces.SetSampleRate(opts.traceSampleRate)
@@ -176,6 +184,7 @@ func run(o *obs.Obs, opts options) error {
 		Cache:                 decisionCache,
 		BatchWorkers:          opts.batchWorkers,
 		ParallelTreeThreshold: opts.parallelTrees,
+		ForestEval:            opts.forestEval,
 		Shadow:                shadow,
 		SLO:                   tracker,
 	})
@@ -203,6 +212,7 @@ func run(o *obs.Obs, opts options) error {
 			"addr", opts.addr,
 			"version", buildinfo.Resolve(),
 			"generation", gen.ID(),
+			"forest_eval", opts.forestEval,
 			"collectives", gen.Bundle().CollectiveNames())
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err

@@ -47,6 +47,7 @@ type options struct {
 	seed        int64
 
 	out       string
+	format    string
 	trainedOn string
 	quiet     bool
 }
@@ -77,6 +78,7 @@ func main() {
 	flag.Float64Var(&opts.testFrac, "test-frac", 0.2, "held-out fraction for the accuracy report (0 trains on everything)")
 	flag.Int64Var(&opts.seed, "seed", 1, "random seed (equal seeds and inputs reproduce the bundle byte-for-byte)")
 	flag.StringVar(&opts.out, "out", "bundle_trained.json", "output bundle path (written atomically)")
+	flag.StringVar(&opts.format, "format", "json", "bundle encoding: json (canonical) or binary (compact PMLB)")
 	flag.StringVar(&opts.trainedOn, "trained-on", "", "comma-separated provenance labels (default: dataset file names and sweep system names)")
 	flag.BoolVar(&opts.quiet, "quiet", false, "suppress the JSON training report on stdout")
 	flag.Parse()
@@ -90,6 +92,9 @@ func main() {
 func run(opts options) error {
 	if !opts.sweep && len(opts.datasets) == 0 {
 		return fmt.Errorf("nothing to train on: pass -dataset files and/or -synthetic-sweep")
+	}
+	if opts.format != "json" && opts.format != "binary" {
+		return fmt.Errorf("unknown -format %q (want \"json\" or \"binary\")", opts.format)
 	}
 
 	table := perfmodel.Table()
@@ -157,11 +162,19 @@ func run(opts options) error {
 		}
 	}
 
-	data, err := b.WriteFile(opts.out)
+	var data []byte
+	switch opts.format {
+	case "json":
+		data, err = b.WriteFile(opts.out)
+	case "binary":
+		data, err = b.WriteFileBinary(opts.out)
+	default:
+		return fmt.Errorf("unknown -format %q (want \"json\" or \"binary\")", opts.format)
+	}
 	if err != nil {
 		return err
 	}
-	parsed, err := bundle.Parse(data)
+	parsed, err := bundle.ParseAny(data)
 	if err != nil {
 		return fmt.Errorf("self-check: written bundle failed to parse: %w", err)
 	}

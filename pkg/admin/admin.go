@@ -200,6 +200,7 @@ type Health struct {
 	Status        string                      `json:"status"`
 	ServerVersion string                      `json:"server_version"`
 	GoVersion     string                      `json:"go_version"`
+	ForestEval    string                      `json:"forest_eval,omitempty"`
 	BundleLoaded  bool                        `json:"bundle_loaded"`
 	ModelVersion  string                      `json:"model_version,omitempty"`
 	BundlePath    string                      `json:"bundle_path,omitempty"`
@@ -216,6 +217,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Health{
 		ServerVersion: buildinfo.Resolve(),
 		GoVersion:     buildinfo.GoVersion(),
+		ForestEval:    s.sel.ForestEval(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
 	b := s.sel.Bundle()

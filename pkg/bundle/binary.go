@@ -1,0 +1,422 @@
+package bundle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/forest"
+)
+
+// Binary bundle format ("PMLB"): the compact sibling of the canonical JSON
+// encoding, built for fleet distribution and fast loads. Layout (all
+// little-endian):
+//
+//	magic        [4]byte "PMLB"
+//	version      uint32 (BinaryVersion)
+//	sectionCount uint32
+//	sections:    tag uint32, length uint64, payload
+//
+// Section tags:
+//
+//	1 (meta):       bundle version string, trained_on string list
+//	2 (collective): name, op, cv_auc, feature subset, importance table,
+//	                and the forest as flat node arrays
+//
+// Strings are uint32-length-prefixed UTF-8; lists are uint32-count-prefixed.
+// Unknown tags and any truncation are rejected with descriptive errors.
+// ParseBinary(EncodeBinary(b)) reconstructs a bundle whose canonical JSON
+// Encode is byte-identical to b's — the fixed-point guarantee the
+// round-trip tests pin.
+
+// BinaryMagic identifies a binary bundle; Load and ParseAny sniff it to
+// dispatch between the JSON and binary parsers.
+var BinaryMagic = [4]byte{'P', 'M', 'L', 'B'}
+
+// BinaryVersion is the binary bundle layout version this build reads and
+// writes.
+const BinaryVersion = 1
+
+const (
+	sectionMeta       = 1
+	sectionCollective = 2
+)
+
+// IsBinary reports whether data starts with the binary bundle magic.
+func IsBinary(data []byte) bool {
+	return len(data) >= 4 && [4]byte(data[:4]) == BinaryMagic
+}
+
+// ParseAny decodes a bundle in either encoding, sniffing the binary magic.
+func ParseAny(data []byte) (*Bundle, error) {
+	if IsBinary(data) {
+		return ParseBinary(data)
+	}
+	return Parse(data)
+}
+
+// binaryWriter appends primitives to a growing buffer.
+type binaryWriter struct{ buf []byte }
+
+func (w *binaryWriter) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *binaryWriter) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *binaryWriter) i32(v int32)   { w.u32(uint32(v)) }
+func (w *binaryWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *binaryWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *binaryWriter) strs(ss []string) {
+	w.u32(uint32(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+// section writes a tagged, length-prefixed section whose payload is
+// produced by fill.
+func (w *binaryWriter) section(tag uint32, fill func(*binaryWriter)) {
+	w.u32(tag)
+	lenAt := len(w.buf)
+	w.u64(0) // patched below
+	start := len(w.buf)
+	fill(w)
+	binary.LittleEndian.PutUint64(w.buf[lenAt:], uint64(len(w.buf)-start))
+}
+
+// EncodeBinary renders the bundle into the compact binary format after the
+// same full validation Encode performs. Deterministic: collectives are
+// written in sorted name order, so equal bundles produce equal bytes.
+func (b *Bundle) EncodeBinary() ([]byte, error) {
+	version := b.Version
+	if version == "" {
+		version = SupportedVersion
+	}
+	if version != SupportedVersion {
+		return nil, fmt.Errorf("encode binary: unsupported bundle version %q (this build writes %q)", version, SupportedVersion)
+	}
+	if len(b.Collectives) == 0 {
+		return nil, fmt.Errorf("encode binary: bundle contains no collectives")
+	}
+	names := b.CollectiveNames()
+	for _, name := range names {
+		if name == "version" || name == "trained_on" {
+			return nil, fmt.Errorf("encode binary: collective name %q collides with a reserved bundle key", name)
+		}
+		if err := validateCollective(b.Collectives[name]); err != nil {
+			return nil, fmt.Errorf("encode binary: collective %q: %w", name, err)
+		}
+	}
+
+	w := &binaryWriter{buf: make([]byte, 0, 1<<16)}
+	w.buf = append(w.buf, BinaryMagic[:]...)
+	w.u32(BinaryVersion)
+	w.u32(uint32(1 + len(names)))
+	w.section(sectionMeta, func(w *binaryWriter) {
+		w.str(version)
+		w.strs(b.TrainedOn)
+	})
+	for _, name := range names {
+		c := b.Collectives[name]
+		w.section(sectionCollective, func(w *binaryWriter) {
+			w.str(name)
+			w.i32(int32(c.Op))
+			w.f64(c.CVAUC)
+			w.u32(uint32(len(c.Features)))
+			for _, idx := range c.Features {
+				w.i32(int32(idx))
+			}
+			w.strs(c.FeatureNames)
+			w.u32(uint32(len(c.FullImportance)))
+			for _, imp := range c.FullImportance {
+				w.str(imp.Name)
+				w.i32(int32(imp.Index))
+				w.f64(imp.Importance)
+			}
+			encodeForest(w, c.Forest)
+		})
+	}
+	return w.buf, nil
+}
+
+func encodeForest(w *binaryWriter, f *forest.Forest) {
+	w.u32(uint32(f.NClasses))
+	w.f64(f.OOB)
+	w.u32(uint32(len(f.Importance)))
+	for _, v := range f.Importance {
+		w.f64(v)
+	}
+	w.u32(uint32(len(f.Trees)))
+	for ti := range f.Trees {
+		nodes := f.Trees[ti].Nodes
+		w.u32(uint32(len(nodes)))
+		for ni := range nodes {
+			n := &nodes[ni]
+			w.i32(int32(n.F))
+			w.f64(n.T)
+			w.i32(int32(n.L))
+			w.i32(int32(n.R))
+			w.u32(uint32(len(n.D)))
+			for _, d := range n.D {
+				w.f64(d)
+			}
+		}
+	}
+}
+
+// binaryReader consumes primitives with bounds checking; the first failure
+// latches an error and turns every later read into a zero-value no-op, so
+// decode loops stay simple and truncation can never panic.
+type binaryReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *binaryReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *binaryReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.data) {
+		r.fail("binary bundle truncated at byte %d (needed %d more)", r.pos, n)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *binaryReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *binaryReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *binaryReader) i32() int32     { return int32(r.u32()) }
+func (r *binaryReader) f64() float64   { return math.Float64frombits(r.u64()) }
+func (r *binaryReader) remaining() int { return len(r.data) - r.pos }
+
+func (r *binaryReader) str() string {
+	n := r.u32()
+	if int(n) > r.remaining() {
+		r.fail("binary bundle: string length %d exceeds remaining %d bytes", n, r.remaining())
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+func (r *binaryReader) strs() []string {
+	n := r.u32()
+	if int(n) > r.remaining() {
+		r.fail("binary bundle: list count %d exceeds remaining %d bytes", n, r.remaining())
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+
+// ParseBinary decodes and validates a binary bundle. Like Parse it is
+// defensive: truncated, corrupt, or hostile input yields a descriptive
+// error, never a panic, and the result carries the SHA-256 of the raw
+// bytes so registry identity works identically across encodings.
+func ParseBinary(data []byte) (*Bundle, error) {
+	if !IsBinary(data) {
+		return nil, fmt.Errorf("parse binary: missing %q magic", BinaryMagic)
+	}
+	r := &binaryReader{data: data, pos: 4}
+	if v := r.u32(); v != BinaryVersion {
+		return nil, fmt.Errorf("parse binary: unsupported binary version %d (this build reads %d)", v, BinaryVersion)
+	}
+	b := &Bundle{
+		Collectives: make(map[string]*Collective),
+		LoadedAt:    time.Now(),
+		Hash:        fmt.Sprintf("%x", sha256.Sum256(data)),
+		SizeBytes:   int64(len(data)),
+	}
+	sections := r.u32()
+	sawMeta := false
+	for s := uint32(0); s < sections && r.err == nil; s++ {
+		tag := r.u32()
+		length := r.u64()
+		if length > uint64(r.remaining()) {
+			return nil, fmt.Errorf("parse binary: section %d length %d exceeds remaining %d bytes", s, length, r.remaining())
+		}
+		sec := &binaryReader{data: r.take(int(length))}
+		switch tag {
+		case sectionMeta:
+			if sawMeta {
+				return nil, fmt.Errorf("parse binary: duplicate meta section")
+			}
+			sawMeta = true
+			b.Version = sec.str()
+			b.TrainedOn = sec.strs()
+			if sec.err == nil && b.Version != SupportedVersion {
+				return nil, fmt.Errorf("unsupported bundle version %q (this build supports %q)", b.Version, SupportedVersion)
+			}
+		case sectionCollective:
+			c, name, err := decodeCollective(sec)
+			if err != nil {
+				return nil, fmt.Errorf("parse binary: %w", err)
+			}
+			if name == "version" || name == "trained_on" {
+				return nil, fmt.Errorf("parse binary: collective name %q collides with a reserved bundle key", name)
+			}
+			if _, dup := b.Collectives[name]; dup {
+				return nil, fmt.Errorf("parse binary: duplicate collective %q", name)
+			}
+			if err := validateCollective(c); err != nil {
+				return nil, fmt.Errorf("validate: collective %q: %w", name, err)
+			}
+			if c.Compiled() == nil {
+				return nil, fmt.Errorf("validate: collective %q: %w", name, c.compileErr)
+			}
+			b.Collectives[name] = c
+		default:
+			return nil, fmt.Errorf("parse binary: unknown section tag %d", tag)
+		}
+		if sec.err != nil {
+			return nil, fmt.Errorf("parse binary: %w", sec.err)
+		}
+		if sec.remaining() != 0 {
+			return nil, fmt.Errorf("parse binary: section tag %d has %d trailing bytes", tag, sec.remaining())
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("parse binary: %w", r.err)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("parse binary: %d trailing bytes after %d sections", r.remaining(), sections)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("parse binary: bundle missing meta section")
+	}
+	if len(b.Collectives) == 0 {
+		return nil, fmt.Errorf("validate: bundle contains no collectives")
+	}
+	return b, nil
+}
+
+func decodeCollective(r *binaryReader) (*Collective, string, error) {
+	name := r.str()
+	c := &Collective{Name: name}
+	c.Op = int(r.i32())
+	c.CVAUC = r.f64()
+	nFeat := r.u32()
+	if int(nFeat) > r.remaining() {
+		return nil, name, fmt.Errorf("collective %q: feature count %d exceeds remaining bytes", name, nFeat)
+	}
+	for i := uint32(0); i < nFeat && r.err == nil; i++ {
+		c.Features = append(c.Features, int(r.i32()))
+	}
+	c.FeatureNames = r.strs()
+	nImp := r.u32()
+	if int(nImp) > r.remaining() {
+		return nil, name, fmt.Errorf("collective %q: importance count %d exceeds remaining bytes", name, nImp)
+	}
+	for i := uint32(0); i < nImp && r.err == nil; i++ {
+		imp := Importance{Name: r.str()}
+		imp.Index = int(r.i32())
+		imp.Importance = r.f64()
+		c.FullImportance = append(c.FullImportance, imp)
+	}
+	f, err := decodeForest(r, name)
+	if err != nil {
+		return nil, name, err
+	}
+	c.Forest = f
+	return c, name, r.err
+}
+
+func decodeForest(r *binaryReader, name string) (*forest.Forest, error) {
+	f := &forest.Forest{NClasses: int(r.u32()), OOB: r.f64()}
+	nImp := r.u32()
+	if int(nImp) > r.remaining() {
+		return nil, fmt.Errorf("collective %q: forest importance count %d exceeds remaining bytes", name, nImp)
+	}
+	for i := uint32(0); i < nImp && r.err == nil; i++ {
+		f.Importance = append(f.Importance, r.f64())
+	}
+	nTrees := r.u32()
+	if int(nTrees) > r.remaining() {
+		return nil, fmt.Errorf("collective %q: tree count %d exceeds remaining bytes", name, nTrees)
+	}
+	for t := uint32(0); t < nTrees && r.err == nil; t++ {
+		nNodes := r.u32()
+		if int(nNodes) > r.remaining() {
+			return nil, fmt.Errorf("collective %q: tree %d node count %d exceeds remaining bytes", name, t, nNodes)
+		}
+		nodes := make([]forest.Node, 0, nNodes)
+		for n := uint32(0); n < nNodes && r.err == nil; n++ {
+			node := forest.Node{F: int(r.i32()), T: r.f64(), L: int(r.i32()), R: int(r.i32())}
+			nd := r.u32()
+			if int(nd) > r.remaining() {
+				return nil, fmt.Errorf("collective %q: leaf distribution length %d exceeds remaining bytes", name, nd)
+			}
+			for d := uint32(0); d < nd && r.err == nil; d++ {
+				node.D = append(node.D, r.f64())
+			}
+			nodes = append(nodes, node)
+		}
+		f.Trees = append(f.Trees, forest.Tree{Nodes: nodes})
+	}
+	return f, r.err
+}
+
+// WriteFileBinary encodes the bundle in the binary format and writes it
+// atomically (temp file + rename, like WriteFile). Returns the encoded
+// bytes so callers can hash or log what shipped.
+func (b *Bundle) WriteFileBinary(path string) ([]byte, error) {
+	data, err := b.EncodeBinary()
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("write bundle: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".bundle-*.pmlb.tmp")
+	if err != nil {
+		return nil, fmt.Errorf("write bundle: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return nil, fmt.Errorf("write bundle: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return nil, fmt.Errorf("write bundle: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return nil, fmt.Errorf("write bundle: %w", err)
+	}
+	return data, nil
+}

@@ -1,0 +1,343 @@
+package bundle_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/synth"
+)
+
+// binFixture is the trainer-emitted JSON bundle the binary round-trip and
+// golden tests anchor on. (External test package; pkg/bundle's internal
+// tests declare their own constant for the same file.)
+const binFixture = "testdata/trained_small.json"
+
+func loadFixture(t *testing.T) *bundle.Bundle {
+	t.Helper()
+	b, err := bundle.Load(binFixture)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", binFixture, err)
+	}
+	return b
+}
+
+// roundTripBinary checks the two fixed-point guarantees of the binary
+// codec on one bundle: ParseBinary(EncodeBinary(b)) has the exact same
+// canonical JSON Encode as b, and re-encoding it binary reproduces the
+// exact same bytes.
+func roundTripBinary(t *testing.T, label string, b *bundle.Bundle) {
+	t.Helper()
+	canonical, err := b.Encode()
+	if err != nil {
+		t.Fatalf("%s: Encode: %v", label, err)
+	}
+	bin, err := b.EncodeBinary()
+	if err != nil {
+		t.Fatalf("%s: EncodeBinary: %v", label, err)
+	}
+	if !bundle.IsBinary(bin) {
+		t.Fatalf("%s: EncodeBinary output does not carry the %q magic", label, bundle.BinaryMagic)
+	}
+	back, err := bundle.ParseBinary(bin)
+	if err != nil {
+		t.Fatalf("%s: ParseBinary: %v", label, err)
+	}
+	enc, err := back.Encode()
+	if err != nil {
+		t.Fatalf("%s: re-Encode: %v", label, err)
+	}
+	if !bytes.Equal(enc, canonical) {
+		t.Fatalf("%s: ParseBinary(EncodeBinary(b)).Encode() differs from b.Encode()\n got: %s\nwant: %s", label, enc, canonical)
+	}
+	bin2, err := back.EncodeBinary()
+	if err != nil {
+		t.Fatalf("%s: re-EncodeBinary: %v", label, err)
+	}
+	if !bytes.Equal(bin2, bin) {
+		t.Fatalf("%s: EncodeBinary is not a fixed point through ParseBinary (%d vs %d bytes)", label, len(bin2), len(bin))
+	}
+	if want := fmt.Sprintf("%x", sha256.Sum256(bin)); back.Hash != want {
+		t.Errorf("%s: binary bundle hash %q, want sha256 of raw bytes %q", label, back.Hash, want)
+	}
+	if back.SizeBytes != int64(len(bin)) {
+		t.Errorf("%s: SizeBytes %d, want %d", label, back.SizeBytes, len(bin))
+	}
+}
+
+// TestBinaryRoundTripTrainedFixture pins the fixed-point guarantees on the
+// committed trainer-emitted artifact.
+func TestBinaryRoundTripTrainedFixture(t *testing.T) {
+	roundTripBinary(t, "trained_small", loadFixture(t))
+}
+
+// TestBinaryRoundTripSynth sweeps synthetic bundles of varied shape through
+// the same fixed-point checks.
+func TestBinaryRoundTripSynth(t *testing.T) {
+	for _, cfg := range []synth.Config{
+		{Seed: 21},
+		{Seed: 22, Trees: 1, Depth: 1, Features: 1, Classes: 2},
+		{Seed: 23, Trees: 32, Depth: 9, Features: 14, Classes: 7, Collectives: []string{"allgather", "allreduce", "broadcast"}},
+		{Seed: 24, Labeled: true, Trees: 8, Depth: 5},
+	} {
+		roundTripBinary(t, fmt.Sprintf("synth seed=%d", cfg.Seed), synth.MustNew(cfg))
+	}
+}
+
+// TestParseAnyDispatch checks the sniffing entry point routes both
+// encodings of the same bundle to the same canonical form.
+func TestParseAnyDispatch(t *testing.T) {
+	b := loadFixture(t)
+	canonical, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := b.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, data := range map[string][]byte{"json": canonical, "binary": bin} {
+		got, err := bundle.ParseAny(data)
+		if err != nil {
+			t.Fatalf("ParseAny(%s): %v", label, err)
+		}
+		enc, err := got.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, canonical) {
+			t.Errorf("ParseAny(%s) decodes to a different canonical form", label)
+		}
+	}
+}
+
+// TestWriteFileBinaryLoads checks the atomic binary writer produces a file
+// Load sniffs and decodes back to the same bundle.
+func TestWriteFileBinaryLoads(t *testing.T) {
+	b := loadFixture(t)
+	canonical, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bundle.pmlb")
+	written, err := b.WriteFileBinary(path)
+	if err != nil {
+		t.Fatalf("WriteFileBinary: %v", err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, written) {
+		t.Fatal("WriteFileBinary returned bytes that differ from the file it wrote")
+	}
+	back, err := bundle.Load(path)
+	if err != nil {
+		t.Fatalf("Load(binary file): %v", err)
+	}
+	enc, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, canonical) {
+		t.Error("binary file loads to a different canonical form")
+	}
+}
+
+// goldenPredictionDigest is the SHA-256 of the fixture's compiled-evaluator
+// prediction table over the fixed synth.Points(1234, 64) grid — class,
+// vote counts, and the raw bits of every probability, per collective in
+// sorted order. Any change to descent order, accumulation order, or leaf
+// payload layout shows up here as a digest mismatch. Regenerate (only
+// after proving bit-identity against the pointer walk some other way) by
+// running this test with -run TestGoldenCompiledPredictions -v and copying
+// the digest from the failure message.
+const goldenPredictionDigest = "099a860a20810ce678eee3bdfe64cbda3a01873913628ffdd36f56e5441077dd"
+
+// predictionDigest renders the bundle's prediction table over the fixed
+// grid and hashes it. Every compiled prediction is also checked
+// bit-identical to the pointer walk, so the pinned digest covers both
+// evaluators at once.
+func predictionDigest(t *testing.T, b *bundle.Bundle) string {
+	t.Helper()
+	h := sha256.New()
+	points := synth.Points(1234, 64)
+	for _, name := range b.CollectiveNames() {
+		c := b.Collectives[name]
+		cf := c.Compiled()
+		if cf == nil {
+			t.Fatalf("%s: Compiled() == nil", name)
+		}
+		for i, pt := range points {
+			x, err := c.Vector(pt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cf.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := c.Forest.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Class != want.Class {
+				t.Fatalf("%s point %d: compiled class %d, pointer class %d", name, i, got.Class, want.Class)
+			}
+			fmt.Fprintf(h, "%s %d %d", name, i, got.Class)
+			for cls := range got.Probs {
+				if math.Float64bits(got.Probs[cls]) != math.Float64bits(want.Probs[cls]) {
+					t.Fatalf("%s point %d: compiled prob[%d] bits differ from pointer", name, i, cls)
+				}
+				if got.Votes[cls] != want.Votes[cls] {
+					t.Fatalf("%s point %d: compiled votes[%d] differ from pointer", name, i, cls)
+				}
+				fmt.Fprintf(h, " %016x/%d", math.Float64bits(got.Probs[cls]), got.Votes[cls])
+			}
+			fmt.Fprintln(h)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenCompiledPredictions pins the exact bits the compiled evaluator
+// produces on the committed fixture, for both the JSON and the binary
+// decoding of the same bundle — a cross-machine, cross-refactor tripwire
+// for any silent change in prediction semantics.
+func TestGoldenCompiledPredictions(t *testing.T) {
+	b := loadFixture(t)
+	if got := predictionDigest(t, b); got != goldenPredictionDigest {
+		t.Errorf("fixture prediction table digest %s, pinned %s", got, goldenPredictionDigest)
+	}
+	bin, err := b.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBinary, err := bundle.ParseBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := predictionDigest(t, fromBinary); got != goldenPredictionDigest {
+		t.Errorf("binary-decoded prediction table digest %s, pinned %s", got, goldenPredictionDigest)
+	}
+}
+
+// fixtureBinary returns the current binary encoding of the trained fixture.
+func fixtureBinary(tb testing.TB) []byte {
+	tb.Helper()
+	raw, err := os.ReadFile(binFixture)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b, err := bundle.Parse(raw)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bin, err := b.EncodeBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return bin
+}
+
+// TestBinaryFuzzSeedInSync keeps the committed FuzzParseBinary valid seed
+// in lockstep with the current encoder, so corpus rot is caught by `go
+// test` instead of silently shrinking fuzz coverage.
+func TestBinaryFuzzSeedInSync(t *testing.T) {
+	seedPath := filepath.Join("testdata", "fuzz", "FuzzParseBinary", "seed_valid")
+	raw, err := os.ReadFile(seedPath)
+	if err != nil {
+		t.Fatalf("read committed fuzz seed: %v", err)
+	}
+	const prefix = "go test fuzz v1\n[]byte("
+	text := string(raw)
+	if !strings.HasPrefix(text, prefix) {
+		t.Fatalf("%s is not a go-fuzz v1 []byte corpus entry", seedPath)
+	}
+	quoted := strings.TrimSuffix(strings.TrimPrefix(text, prefix), ")\n")
+	seed, err := strconv.Unquote(quoted)
+	if err != nil {
+		t.Fatalf("unquote corpus entry: %v", err)
+	}
+	if !bytes.Equal([]byte(seed), fixtureBinary(t)) {
+		t.Fatalf("%s no longer matches EncodeBinary of %s — regenerate the corpus", seedPath, binFixture)
+	}
+}
+
+// FuzzParseBinary feeds arbitrary bytes to the binary bundle parser. The
+// contract mirrors FuzzParse: hostile input must yield a descriptive error
+// — never a panic — and anything accepted must be a fully validated bundle
+// that round-trips through both encodings. Seed corpus lives in
+// testdata/fuzz/FuzzParseBinary.
+func FuzzParseBinary(f *testing.F) {
+	bin := fixtureBinary(f)
+	f.Add(bin)
+	f.Add(bin[:len(bin)/2]) // truncated mid-section
+	f.Add([]byte{})
+	f.Add([]byte("PMLB"))
+	corrupt := bytes.Clone(bin)
+	corrupt[len(corrupt)-1] ^= 0xff
+	f.Add(corrupt)
+	badVersion := bytes.Clone(bin)
+	binary.LittleEndian.PutUint32(badVersion[4:], 99)
+	f.Add(badVersion)
+	badTag := bytes.Clone(bin)
+	binary.LittleEndian.PutUint32(badTag[12:], 9) // first section tag → unknown
+	f.Add(badTag)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := bundle.ParseBinary(data) // must never panic
+		if err != nil {
+			if b != nil {
+				t.Error("ParseBinary returned both a bundle and an error")
+			}
+			return
+		}
+		if b.Version != bundle.SupportedVersion {
+			t.Errorf("accepted bundle has version %q", b.Version)
+		}
+		if len(b.Collectives) == 0 {
+			t.Error("accepted bundle has no collectives")
+		}
+		for name, c := range b.Collectives {
+			if c.Forest == nil {
+				t.Fatalf("collective %q accepted without a forest", name)
+			}
+			if err := c.Forest.Validate(len(c.Features)); err != nil {
+				t.Errorf("collective %q accepted with invalid forest: %v", name, err)
+			}
+			if c.Compiled() == nil {
+				t.Errorf("collective %q accepted but does not compile", name)
+			}
+		}
+		// Anything accepted must survive both encodings unchanged.
+		enc, err := b.Encode()
+		if err != nil {
+			t.Fatalf("accepted bundle fails Encode: %v", err)
+		}
+		rebin, err := b.EncodeBinary()
+		if err != nil {
+			t.Fatalf("accepted bundle fails EncodeBinary: %v", err)
+		}
+		back, err := bundle.ParseBinary(rebin)
+		if err != nil {
+			t.Fatalf("re-encoded bundle fails ParseBinary: %v", err)
+		}
+		enc2, err := back.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Error("accepted bundle does not round-trip through the binary encoding")
+		}
+	})
+}

@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/forest"
+	"github.com/pml-mpi/pmlmpi/pkg/forest/compiled"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 )
 
@@ -58,6 +60,25 @@ type Collective struct {
 	FeatureNames   []string       `json:"feature_names"`
 	Forest         *forest.Forest `json:"forest"`
 	CVAUC          float64        `json:"cv_auc"`
+
+	// compiled is the SoA evaluator derived from Forest, built at most once
+	// (eagerly by Parse/ParseBinary so load-time pays the cost, lazily via
+	// Compiled for bundles assembled in memory). Unexported so JSON
+	// round-trips ignore it.
+	compileOnce sync.Once
+	compiled    *compiled.Forest
+	compileErr  error
+}
+
+// Compiled returns the collective's compiled SoA forest, building it on
+// first use. It returns nil if compilation failed (callers fall back to the
+// pointer evaluator); Parse and ParseBinary surface that failure at load
+// time instead.
+func (c *Collective) Compiled() *compiled.Forest {
+	c.compileOnce.Do(func() {
+		c.compiled, c.compileErr = compiled.Compile(c.Forest, len(c.Features))
+	})
+	return c.compiled
 }
 
 // Vector orders the named feature map into the vector layout the forest
@@ -126,13 +147,14 @@ func (b *Bundle) CollectiveNames() []string {
 	return names
 }
 
-// Load reads, parses, and validates a bundle file.
+// Load reads, parses, and validates a bundle file in either encoding
+// (JSON or the compact binary format, sniffed by magic).
 func Load(path string) (*Bundle, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("read bundle %s: %w", path, err)
 	}
-	b, err := Parse(data)
+	b, err := ParseAny(data)
 	if err != nil {
 		return nil, fmt.Errorf("bundle %s: %w", path, err)
 	}
@@ -208,6 +230,9 @@ func Parse(data []byte) (*Bundle, error) {
 		}
 		if err := validateCollective(c); err != nil {
 			return nil, fmt.Errorf("validate: collective %q: %w", key, err)
+		}
+		if c.Compiled() == nil {
+			return nil, fmt.Errorf("validate: collective %q: %w", key, c.compileErr)
 		}
 		b.Collectives[key] = c
 	}

@@ -1,0 +1,112 @@
+package compiled
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/pml-mpi/pmlmpi/pkg/forest"
+)
+
+// DefaultBatchThreshold is the vector count at which PredictBatch starts
+// fanning out across goroutines. Below it, per-goroutine overhead outweighs
+// the parallel descent; the value was measured with
+// BenchmarkCompiledPredictBatch on the trained fixture (sequential wins
+// comfortably through ~64 vectors, parity lands in the low hundreds).
+const DefaultBatchThreshold = 256
+
+// batchWorkers caps PredictBatch fan-out; more workers than cores only adds
+// scheduling overhead.
+func batchWorkers(vectors int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if max := vectors / 32; w > max {
+		w = max // keep at least ~32 vectors per worker
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PredictBatch evaluates every vector in xs across all trees in one pass,
+// writing results into out (which must be exactly len(xs) long). The walk
+// is tree-major — each tree's arena segment stays hot in cache while every
+// vector descends it — and each vector's accumulation still happens in tree
+// order, so every result is bit-identical to a standalone Predict on the
+// same vector.
+//
+// Batches of BatchThreshold vectors or more are chunked across goroutines;
+// chunking is by vector, so parallelism never changes any result. Below the
+// threshold the batch runs on the calling goroutine and, with out's Probs
+// and Votes slices pre-sized from an earlier call, performs zero
+// allocations.
+func (cf *Forest) PredictBatch(xs [][]float64, out []forest.Prediction) error {
+	if len(out) != len(xs) {
+		return fmt.Errorf("compiled: batch output has %d slots for %d vectors", len(out), len(xs))
+	}
+	for v, x := range xs {
+		if len(x) < cf.nFeatures {
+			return fmt.Errorf("compiled: batch vector %d has %d entries, forest needs %d", v, len(x), cf.nFeatures)
+		}
+	}
+	if cf.BatchThreshold > 0 && len(xs) >= cf.BatchThreshold {
+		workers := batchWorkers(len(xs))
+		if workers > 1 {
+			chunk := (len(xs) + workers - 1) / workers
+			var wg sync.WaitGroup
+			for lo := 0; lo < len(xs); lo += chunk {
+				hi := lo + chunk
+				if hi > len(xs) {
+					hi = len(xs)
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					cf.predictChunk(xs[lo:hi], out[lo:hi])
+				}(lo, hi)
+			}
+			wg.Wait()
+			return nil
+		}
+	}
+	cf.predictChunk(xs, out)
+	return nil
+}
+
+// predictChunk runs the tree-major batch walk over one contiguous vector
+// chunk. Inputs are pre-validated by PredictBatch.
+func (cf *Forest) predictChunk(xs [][]float64, out []forest.Prediction) {
+	nodes := cf.nodes
+	nc := int32(cf.nClasses)
+	for v := range out {
+		out[v].Probs = resizeFloats(out[v].Probs, cf.nClasses)
+		out[v].Votes = resizeInts(out[v].Votes, cf.nClasses)
+	}
+	for _, root := range cf.roots {
+		for v, x := range xs {
+			i := root
+			nd := nodes[i]
+			for !nd.isLeaf() {
+				next := i + 1
+				if !(x[nd.feat()] <= nd.t) {
+					next = nd.off()
+				}
+				i = next
+				nd = nodes[i]
+			}
+			r := cf.leafRef[i]
+			off := int32(uint32(r))
+			acc := out[v].Probs
+			for c, p := range cf.leafProbs[off : off+nc] {
+				acc[c] += p
+			}
+			out[v].Votes[r>>32]++
+		}
+	}
+	for v := range out {
+		out[v].Class = cf.finalize(out[v].Probs)
+	}
+}

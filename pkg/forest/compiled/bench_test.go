@@ -1,0 +1,128 @@
+package compiled_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/forest"
+	"github.com/pml-mpi/pmlmpi/pkg/synth"
+)
+
+// benchShapes mirrors pkg/forest's BenchmarkForestPredict shapes so the two
+// benchmarks compare like for like.
+var benchShapes = []struct {
+	trees, depth int
+}{
+	{16, 5},
+	{64, 8},
+	{256, 10},
+}
+
+func BenchmarkCompiledPredict(b *testing.B) {
+	for _, shape := range benchShapes {
+		bd := synth.MustNew(synth.Config{Seed: 99, Collectives: []string{"bench"}, Trees: shape.trees, Depth: shape.depth, Features: 6, Classes: 5})
+		c := bd.Collectives["bench"]
+		cf := c.Compiled()
+		x, err := c.Vector(synth.Points(99, 1)[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("trees=%d/depth=%d", shape.trees, shape.depth), func(b *testing.B) {
+			var p forest.Prediction
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := cf.PredictInto(x, &p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCompiledPredictBatch(b *testing.B) {
+	bd := synth.MustNew(synth.Config{Seed: 99, Collectives: []string{"bench"}, Trees: 64, Depth: 8, Features: 6, Classes: 5})
+	c := bd.Collectives["bench"]
+	cf := c.Compiled()
+	points := synth.Points(99, 512)
+	xs := make([][]float64, len(points))
+	for i, pt := range points {
+		x, err := c.Vector(pt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xs[i] = x
+	}
+	for _, size := range []int{16, 64, 256, 512} {
+		out := make([]forest.Prediction, size)
+		b.Run(fmt.Sprintf("vectors=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := cf.PredictBatch(xs[:size], out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledSpeedup is the CI performance guard: on the committed
+// trainer-emitted fixture, the compiled evaluator must be at least 2x
+// faster than the pointer walk. Measured with testing.Benchmark so both
+// sides get the same calibration machinery; skipped under -race and in
+// -short runs (timing ratios need an unloaded, uninstrumented process).
+func TestCompiledSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing ratios are meaningless under -race")
+	}
+	if testing.Short() {
+		t.Skip("speedup guard skipped in -short mode")
+	}
+	b, err := bundle.Load(trainedFixture)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", trainedFixture, err)
+	}
+	for name, c := range b.Collectives {
+		c := c
+		cf := c.Compiled()
+		x, err := c.Vector(synth.Points(7, 1)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interleave three measurements per side and take each side's
+		// fastest: the minimum estimates true cost, while a mean would
+		// fold scheduler and noisy-neighbor stalls into whichever side
+		// they happened to hit.
+		pointerNs, compiledNs := int64(1<<62), int64(1<<62)
+		for round := 0; round < 3; round++ {
+			pointer := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Forest.Predict(x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			compiledRes := testing.Benchmark(func(b *testing.B) {
+				var p forest.Prediction
+				for i := 0; i < b.N; i++ {
+					if err := cf.PredictInto(x, &p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if ns := pointer.NsPerOp(); ns < pointerNs {
+				pointerNs = ns
+			}
+			if ns := compiledRes.NsPerOp(); ns < compiledNs {
+				compiledNs = ns
+			}
+		}
+		ratio := float64(pointerNs) / float64(compiledNs)
+		t.Logf("%s: pointer %v ns/op, compiled %v ns/op, speedup %.2fx",
+			name, pointerNs, compiledNs, ratio)
+		if ratio < 2.0 {
+			t.Errorf("%s: compiled evaluator is only %.2fx faster than pointer (pointer %dns, compiled %dns), want >= 2x",
+				name, ratio, pointerNs, compiledNs)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package compiled_test
+
+// raceEnabled mirrors the -race build flag so allocation and speedup guards
+// can skip themselves: the race runtime adds per-access bookkeeping that
+// breaks both AllocsPerRun counts and timing ratios.
+const raceEnabled = false

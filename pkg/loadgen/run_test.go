@@ -3,9 +3,12 @@ package loadgen
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -19,8 +22,9 @@ import (
 )
 
 // newLiveServer boots the full admin surface over the committed trained
-// fixture — the same wiring cmd/pmlmpi-server uses, behind httptest.
-func newLiveServer(t *testing.T) *httptest.Server {
+// fixture — the same wiring cmd/pmlmpi-server uses, behind httptest —
+// with the given forest evaluator mode ("" means the compiled default).
+func newLiveServer(t *testing.T, evalMode string) *httptest.Server {
 	t.Helper()
 	o := obs.NewForTest()
 	o.Logger.SetLevel(obs.LevelError)
@@ -34,9 +38,10 @@ func newLiveServer(t *testing.T) *httptest.Server {
 	}
 	tracker := slo.New(o.Registry, slo.Objectives{SelectP99: time.Millisecond, Availability: 0.999})
 	sel := selector.NewFromSource(r, o, selector.Config{
-		RingSize: 1024,
-		Cache:    cache.New(cache.Config{}, o.Registry),
-		SLO:      tracker,
+		RingSize:   1024,
+		Cache:      cache.New(cache.Config{}, o.Registry),
+		SLO:        tracker,
+		ForestEval: evalMode,
 	})
 	srv := httptest.NewServer(admin.New(sel, o, admin.Config{Registry: r, SLO: tracker}))
 	t.Cleanup(srv.Close)
@@ -52,7 +57,7 @@ func monotone(t *testing.T, label string, s obs.Summary) {
 }
 
 func TestRunEndToEnd(t *testing.T) {
-	srv := newLiveServer(t)
+	srv := newLiveServer(t, selector.EvalCompiled)
 	opts := Options{
 		BaseURL:  srv.URL,
 		Seed:     11,
@@ -162,7 +167,7 @@ func checkQuantileAgainstAnalytics(t *testing.T, label string, gotUS float64, ro
 // TestRunSequenceHashStableAcrossRuns: the byte-identical-replay
 // guarantee, end to end — two live runs with one seed report one hash.
 func TestRunSequenceHashStableAcrossRuns(t *testing.T) {
-	srv := newLiveServer(t)
+	srv := newLiveServer(t, selector.EvalCompiled)
 	opts := Options{
 		BaseURL:  srv.URL,
 		Seed:     23,
@@ -183,6 +188,75 @@ func TestRunSequenceHashStableAcrossRuns(t *testing.T) {
 	}
 	if a.Config.Scheduled != b.Config.Scheduled {
 		t.Fatalf("scheduled %d vs %d", a.Config.Scheduled, b.Config.Scheduled)
+	}
+}
+
+// TestRunIdenticalAcrossEvalModes drives the same seeded workload against
+// one live server per forest evaluator mode and asserts the serving
+// surface is indistinguishable: identical per-collective selection counts
+// and an identical per-collective class tally in the decision ring. The
+// unit differential tests pin prediction bits; this pins the end-to-end
+// behavior a fleet operator would observe when flipping -forest-eval.
+func TestRunIdenticalAcrossEvalModes(t *testing.T) {
+	type outcome struct {
+		hash       string
+		selections map[string]uint64
+		classes    map[string]uint64 // "collective/class" -> decisions
+	}
+	outcomes := map[string]outcome{}
+	for _, mode := range []string{selector.EvalCompiled, selector.EvalPointer} {
+		srv := newLiveServer(t, mode)
+		rep, err := Run(context.Background(), Options{
+			BaseURL:  srv.URL,
+			Seed:     31,
+			QPS:      300,
+			Duration: 500 * time.Millisecond,
+			Workers:  4,
+		})
+		if err != nil {
+			t.Fatalf("%s: run: %v", mode, err)
+		}
+		if rep.Client.Errors != 0 {
+			t.Fatalf("%s: %d client errors (%v)", mode, rep.Client.Errors, rep.Client.ErrorsByKind)
+		}
+		// The decision ring (sized above the scheduled request count, so
+		// nothing was evicted) records which class every select chose.
+		resp, err := http.Get(srv.URL + "/debug/decisions?limit=0")
+		if err != nil {
+			t.Fatalf("%s: scrape decisions: %v", mode, err)
+		}
+		var ring struct {
+			Decisions []struct {
+				Collective string `json:"collective"`
+				Class      int    `json:"class"`
+			} `json:"decisions"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ring)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: decode decisions: %v", mode, err)
+		}
+		if uint64(len(ring.Decisions)) != uint64(rep.Config.Scheduled) {
+			t.Fatalf("%s: decision ring has %d entries for %d scheduled requests (ring evicted — shrink the workload)",
+				mode, len(ring.Decisions), rep.Config.Scheduled)
+		}
+		classes := make(map[string]uint64)
+		for _, d := range ring.Decisions {
+			classes[fmt.Sprintf("%s/%d", d.Collective, d.Class)]++
+		}
+		outcomes[mode] = outcome{rep.Config.SequenceHash, rep.Delta.SelectionsByCollective, classes}
+	}
+	a, b := outcomes[selector.EvalCompiled], outcomes[selector.EvalPointer]
+	if a.hash != b.hash {
+		t.Fatalf("workloads diverged despite one seed: %s vs %s", a.hash, b.hash)
+	}
+	if !reflect.DeepEqual(a.selections, b.selections) {
+		t.Errorf("per-collective selection counts differ across eval modes:\ncompiled: %v\npointer:  %v",
+			a.selections, b.selections)
+	}
+	if !reflect.DeepEqual(a.classes, b.classes) {
+		t.Errorf("per-collective class tallies differ across eval modes:\ncompiled: %v\npointer:  %v",
+			a.classes, b.classes)
 	}
 }
 

@@ -183,7 +183,7 @@ func (r *Registry) LoadData(data []byte, source string) (*Generation, error) {
 	span.SetAttr("source", source)
 	defer span.End()
 
-	b, err := bundle.Parse(data)
+	b, err := bundle.ParseAny(data)
 	if err != nil {
 		r.loads.Inc("invalid")
 		r.o.Logger.Warn("registry rejected bundle",

@@ -25,7 +25,19 @@ import (
 //   - generation ids handed out by the registry are strictly monotonic.
 //
 // Run under -race this is the swap-safety acceptance test of the registry.
+// It runs once per forest evaluator mode: the compiled arena is shared by
+// every goroutine touching a generation, so swap safety must hold for it
+// exactly as for the pointer walk.
 func TestConcurrentSwapUnderLoad(t *testing.T) {
+	for _, mode := range []string{selector.EvalCompiled, selector.EvalPointer} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			concurrentSwapUnderLoad(t, mode)
+		})
+	}
+}
+
+func concurrentSwapUnderLoad(t *testing.T, evalMode string) {
 	const (
 		workers   = 8
 		swaps     = 30
@@ -57,7 +69,8 @@ func TestConcurrentSwapUnderLoad(t *testing.T) {
 	}
 
 	sel := selector.NewFromSource(r, o, selector.Config{
-		Cache: cache.New(cache.Config{MaxEntries: 4096}, o.Registry),
+		Cache:      cache.New(cache.Config{MaxEntries: 4096}, o.Registry),
+		ForestEval: evalMode,
 	})
 
 	points := synth.Points(99, 32)

@@ -57,6 +57,18 @@ type Decision struct {
 // to the same cached decision.
 const DefaultCacheQuantum = 1e-6
 
+// Forest evaluator modes (Config.ForestEval / the -forest-eval flag). The
+// two evaluators are bit-identical by construction — compiled is the fast
+// SoA descent, pointer the reference tree walk kept for differential
+// testing and escape-hatch rollback.
+const (
+	EvalCompiled = "compiled"
+	EvalPointer  = "pointer"
+)
+
+// ValidEvalMode reports whether m names a known forest evaluator mode.
+func ValidEvalMode(m string) bool { return m == EvalCompiled || m == EvalPointer }
+
 // Config tunes a Selector.
 type Config struct {
 	// RingSize is the capacity of the recent-decision buffer (default 128).
@@ -74,8 +86,14 @@ type Config struct {
 	BatchWorkers int
 	// ParallelTreeThreshold enables concurrent tree evaluation for forests
 	// with at least this many trees (0 disables it — the default — since
-	// goroutine fan-out only pays off for large ensembles).
+	// goroutine fan-out only pays off for large ensembles). It only applies
+	// to the pointer evaluator; the compiled evaluator parallelizes by
+	// vector in PredictBatch instead.
 	ParallelTreeThreshold int
+	// ForestEval picks the forest evaluator: EvalCompiled (the default,
+	// used when empty) or EvalPointer. Both produce bit-identical
+	// predictions; pointer is the differential reference.
+	ForestEval string
 	// Shadow, when non-nil, receives every completed decision so a staged
 	// candidate model can be evaluated against live traffic off the
 	// response path (see the registry package).
@@ -111,6 +129,7 @@ type Selector struct {
 	batchWorkers  int
 	parallelTrees int
 	treeWorkers   int
+	forestEval    string
 
 	selections *obs.Counter
 	selErrors  *obs.Counter
@@ -167,6 +186,10 @@ func NewFromSource(src Source, o *obs.Obs, cfg Config) *Selector {
 	if treeWorkers > 8 {
 		treeWorkers = 8
 	}
+	evalMode := cfg.ForestEval
+	if evalMode == "" {
+		evalMode = EvalCompiled
+	}
 	reg := o.Registry
 	s := &Selector{
 		src:           src,
@@ -178,6 +201,7 @@ func NewFromSource(src Source, o *obs.Obs, cfg Config) *Selector {
 		batchWorkers:  workers,
 		parallelTrees: cfg.ParallelTreeThreshold,
 		treeWorkers:   treeWorkers,
+		forestEval:    evalMode,
 		shadow:        cfg.Shadow,
 		slo:           cfg.SLO,
 		agg:           analytics.New(nil),
@@ -226,7 +250,11 @@ func (s *Selector) instrumentBundle(b *bundle.Bundle) {
 	s.gTrained.Set(float64(len(b.TrainedOn)))
 	for name, c := range b.Collectives {
 		s.gTrees.Set(float64(len(c.Forest.Trees)), name)
-		c.Forest.Instrument(s.hPredict.Bind(name).Observe)
+		observe := s.hPredict.Bind(name).Observe
+		c.Forest.Instrument(observe)
+		if cf := c.Compiled(); cf != nil {
+			cf.Instrument(observe)
+		}
 	}
 }
 
@@ -244,6 +272,10 @@ func (s *Selector) Bundle() *bundle.Bundle {
 
 // Source returns the bundle source the selector reads from.
 func (s *Selector) Source() Source { return s.src }
+
+// ForestEval returns the active forest evaluator mode (EvalCompiled or
+// EvalPointer), as surfaced on /healthz.
+func (s *Selector) ForestEval() string { return s.forestEval }
 
 // Recent returns up to n recent decisions, newest first (n <= 0 for all).
 func (s *Selector) Recent(n int) []Decision { return s.ring.last(n) }
@@ -462,9 +494,17 @@ func (s *Selector) selectTraced(ctx context.Context, b *bundle.Bundle, gen uint6
 	return &d, nil
 }
 
-// predict runs the forest, fanning tree evaluation out across goroutines
-// when the ensemble is large enough for that to pay off.
+// predict runs the forest through the configured evaluator. In compiled
+// mode (the default) it uses the collective's SoA forest, falling back to
+// the pointer walk only if compilation failed for an in-memory bundle. In
+// pointer mode it keeps the reference walk, fanning tree evaluation out
+// across goroutines when the ensemble is large enough for that to pay off.
 func (s *Selector) predict(c *bundle.Collective, x []float64) (forest.Prediction, error) {
+	if s.forestEval != EvalPointer {
+		if cf := c.Compiled(); cf != nil {
+			return cf.Predict(x)
+		}
+	}
 	if s.parallelTrees > 0 && len(c.Forest.Trees) >= s.parallelTrees {
 		return c.Forest.PredictWith(x, s.treeWorkers)
 	}
