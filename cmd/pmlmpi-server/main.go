@@ -9,6 +9,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"github.com/pml-mpi/pmlmpi/pkg/admin"
 	"github.com/pml-mpi/pmlmpi/pkg/buildinfo"
 	"github.com/pml-mpi/pmlmpi/pkg/cache"
+	"github.com/pml-mpi/pmlmpi/pkg/modelhealth"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
@@ -48,6 +50,11 @@ type options struct {
 
 	sloSelectP99    time.Duration
 	sloAvailability float64
+
+	driftWindow   int
+	driftAlertPSI float64
+	marginWarn    float64
+	flightrecSize int
 
 	traceSampleRate float64
 	traceCapacity   int
@@ -81,6 +88,11 @@ func main() {
 		sloSelectP99    = flag.Duration("slo-select-p99", time.Millisecond, "latency SLO: 99% of selects must complete within this (0 disables latency burn tracking)")
 		sloAvailability = flag.Float64("slo-availability", 0.999, "availability SLO: required select success fraction in (0,1) (0 disables availability burn tracking)")
 
+		driftWindow   = flag.Int("drift-window", modelhealth.DefaultWindow, "decisions per feature-drift PSI window")
+		driftAlertPSI = flag.Float64("drift-alert-psi", modelhealth.DefaultAlertPSI, "PSI at or above which a feature's drift status is ALERT (warn at 40% of this)")
+		marginWarn    = flag.Float64("margin-warn", modelhealth.DefaultMarginWarn, "vote margin below which a decision counts as low-confidence")
+		flightrecSize = flag.Int("flightrec-size", modelhealth.DefaultFlightRecSize, "anomaly flight-recorder capacity in records")
+
 		traceSampleRate = flag.Float64("trace-sample-rate", 0.01, "head-based trace sampling fraction in [0,1] (0 disables tracing)")
 		traceCapacity   = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "sampled traces retained for /debug/traces")
 		pprofFlag       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -110,6 +122,11 @@ func main() {
 
 		sloSelectP99:    *sloSelectP99,
 		sloAvailability: *sloAvailability,
+
+		driftWindow:   *driftWindow,
+		driftAlertPSI: *driftAlertPSI,
+		marginWarn:    *marginWarn,
+		flightrecSize: *flightrecSize,
 
 		traceSampleRate: *traceSampleRate,
 		traceCapacity:   *traceCapacity,
@@ -179,6 +196,17 @@ func run(o *obs.Obs, opts options) error {
 		Availability: opts.sloAvailability,
 	})
 
+	// Model-health observatory: every Select feeds drift sketches, margin
+	// telemetry, per-generation scorecards, and the anomaly flight
+	// recorder; surfaces on /debug/{drift,scorecards,flightrecorder} and
+	// pmlmpi_drift_* / pmlmpi_margin_* / pmlmpi_flightrec_*.
+	health := modelhealth.New(o.Registry, modelhealth.Config{
+		Window:        opts.driftWindow,
+		AlertPSI:      opts.driftAlertPSI,
+		MarginWarn:    opts.marginWarn,
+		FlightRecSize: opts.flightrecSize,
+	})
+
 	sel := selector.NewFromSource(reg, o, selector.Config{
 		RingSize:              opts.ringSize,
 		Cache:                 decisionCache,
@@ -187,8 +215,10 @@ func run(o *obs.Obs, opts options) error {
 		ForestEval:            opts.forestEval,
 		Shadow:                shadow,
 		SLO:                   tracker,
+		Health:                health,
 	})
 	shadow.SetNamer(sel.AlgorithmName)
+	shadow.SetHealthSink(health.RecordShadow)
 	shadow.Start()
 
 	if opts.bundleWatch {
@@ -202,6 +232,7 @@ func run(o *obs.Obs, opts options) error {
 			Registry: reg,
 			Shadow:   shadow,
 			SLO:      tracker,
+			Health:   health,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -235,6 +266,14 @@ func run(o *obs.Obs, opts options) error {
 	defer cancel()
 	shutdownErr := srv.Shutdown(shutdownCtx)
 	shadow.Stop()
+	// Last chance to see what the anomaly flight recorder caught: once the
+	// process exits the in-memory ring is gone, so dump it to the log.
+	if records := health.Flight().Dump(); len(records) > 0 {
+		if buf, err := json.Marshal(records); err == nil {
+			o.Logger.Info("flight recorder dump",
+				"records", len(records), "capacity", health.Flight().Capacity(), "dump", string(buf))
+		}
+	}
 	o.Logger.Info("shutdown complete")
 	return shutdownErr
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/buildinfo"
+	"github.com/pml-mpi/pmlmpi/pkg/modelhealth"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
@@ -39,6 +40,11 @@ type Config struct {
 	// report and refreshes the pmlmpi_slo_* gauges on every /metrics
 	// scrape.
 	SLO *slo.Tracker
+	// Health, when non-nil, mounts the model-health observatory surface
+	// (/debug/drift, /debug/scorecards, /debug/flightrecorder), adds a
+	// model_health block to /healthz, and refreshes the pmlmpi_drift_* /
+	// pmlmpi_margin_* gauges on every /metrics scrape.
+	Health *modelhealth.Observatory
 }
 
 // Route describes one registered endpoint: its path and the single method
@@ -56,6 +62,7 @@ type Server struct {
 	reg     *registry.Registry
 	shadow  *registry.Shadow
 	slo     *slo.Tracker
+	health  *modelhealth.Observatory
 	started time.Time
 	mux     *http.ServeMux
 	routes  []Route
@@ -72,6 +79,7 @@ func New(sel *selector.Selector, o *obs.Obs, cfg Config) *Server {
 		reg:     cfg.Registry,
 		shadow:  cfg.Shadow,
 		slo:     cfg.SLO,
+		health:  cfg.Health,
 		started: time.Now(),
 		mux:     http.NewServeMux(),
 		httpRequests: o.Registry.Counter("pmlmpi_http_requests_total",
@@ -98,6 +106,11 @@ func New(sel *selector.Selector, o *obs.Obs, cfg Config) *Server {
 	}
 	if cfg.SLO != nil {
 		s.route("/debug/slo", http.MethodGet, "GET returns the rolling SLO burn-rate report", s.handleSLO)
+	}
+	if cfg.Health != nil {
+		s.route("/debug/drift", http.MethodGet, "GET returns the feature-drift report", s.handleDrift)
+		s.route("/debug/scorecards", http.MethodGet, "GET returns per-generation model scorecards", s.handleScorecards)
+		s.route("/debug/flightrecorder", http.MethodGet, "GET dumps the anomaly flight recorder", s.handleFlightRecorder)
 	}
 	if cfg.Pprof {
 		// Mounted bare, without the instrument wrapper: statusRecorder does
@@ -170,6 +183,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// current without a background refresher goroutine.
 		s.slo.Refresh()
 	}
+	if s.health != nil {
+		// Same contract for the model-health gauges: current at scrape
+		// time, no refresher goroutine.
+		s.health.Refresh()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.o.Registry.WritePrometheus(w)
 }
@@ -207,6 +225,7 @@ type Health struct {
 	Generation    *healthGeneration           `json:"generation,omitempty"`
 	TrainedOn     []string                    `json:"trained_on,omitempty"`
 	Collectives   map[string]healthCollective `json:"collectives,omitempty"`
+	ModelHealth   *modelhealth.Summary        `json:"model_health,omitempty"`
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 }
 
@@ -219,6 +238,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		GoVersion:     buildinfo.GoVersion(),
 		ForestEval:    s.sel.ForestEval(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	if s.health != nil {
+		sum := s.health.Summary()
+		h.ModelHealth = &sum
 	}
 	b := s.sel.Bundle()
 	if b == nil {
@@ -290,6 +313,11 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	}
 	if collective != "" {
 		resp["collective"] = collective
+	}
+	if s.health != nil {
+		if sc, ok := s.health.ActiveScorecard(); ok {
+			resp["scorecard"] = sc
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -497,6 +525,35 @@ func (s *Server) handleRegistryRollback(w http.ResponseWriter, r *http.Request) 
 // most recently staged) candidate generation.
 func (s *Server) handleShadow(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.shadow.Report())
+}
+
+// handleDrift serves per-feature PSI scores of live traffic against the
+// active bundle's embedded training distribution.
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.health.DriftReport())
+}
+
+// handleScorecards serves the per-generation model scorecards, newest
+// first (the active generation leads).
+func (s *Server) handleScorecards(w http.ResponseWriter, r *http.Request) {
+	cards := s.health.Scorecards()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":      len(cards),
+		"scorecards": cards,
+	})
+}
+
+// handleFlightRecorder dumps the anomaly flight recorder: the retained
+// records oldest first, plus occupancy/capacity for at-a-glance sizing.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	fr := s.health.Flight()
+	records := fr.Dump()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity":  fr.Capacity(),
+		"occupancy": fr.Occupancy(),
+		"count":     len(records),
+		"records":   records,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

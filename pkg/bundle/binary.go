@@ -23,9 +23,11 @@ import (
 //
 // Section tags:
 //
-//	1 (meta):       bundle version string, trained_on string list
-//	2 (collective): name, op, cv_auc, feature subset, importance table,
-//	                and the forest as flat node arrays
+//	1 (meta):          bundle version string, trained_on string list
+//	2 (collective):    name, op, cv_auc, feature subset, importance table,
+//	                   and the forest as flat node arrays
+//	3 (feature_stats): optional training-distribution snapshot (source,
+//	                   then per-feature name, bin edges, bin counts)
 //
 // Strings are uint32-length-prefixed UTF-8; lists are uint32-count-prefixed.
 // Unknown tags and any truncation are rejected with descriptive errors.
@@ -42,8 +44,9 @@ var BinaryMagic = [4]byte{'P', 'M', 'L', 'B'}
 const BinaryVersion = 1
 
 const (
-	sectionMeta       = 1
-	sectionCollective = 2
+	sectionMeta         = 1
+	sectionCollective   = 2
+	sectionFeatureStats = 3
 )
 
 // IsBinary reports whether data starts with the binary bundle magic.
@@ -104,22 +107,36 @@ func (b *Bundle) EncodeBinary() ([]byte, error) {
 	}
 	names := b.CollectiveNames()
 	for _, name := range names {
-		if name == "version" || name == "trained_on" {
+		if name == "version" || name == "trained_on" || name == "feature_stats" {
 			return nil, fmt.Errorf("encode binary: collective name %q collides with a reserved bundle key", name)
 		}
 		if err := validateCollective(b.Collectives[name]); err != nil {
 			return nil, fmt.Errorf("encode binary: collective %q: %w", name, err)
 		}
 	}
+	if b.Stats != nil {
+		if err := validateFeatureStats(b.Stats); err != nil {
+			return nil, fmt.Errorf("encode binary: %w", err)
+		}
+	}
 
+	sections := 1 + len(names)
+	if b.Stats != nil {
+		sections++
+	}
 	w := &binaryWriter{buf: make([]byte, 0, 1<<16)}
 	w.buf = append(w.buf, BinaryMagic[:]...)
 	w.u32(BinaryVersion)
-	w.u32(uint32(1 + len(names)))
+	w.u32(uint32(sections))
 	w.section(sectionMeta, func(w *binaryWriter) {
 		w.str(version)
 		w.strs(b.TrainedOn)
 	})
+	if b.Stats != nil {
+		w.section(sectionFeatureStats, func(w *binaryWriter) {
+			encodeFeatureStats(w, b.Stats)
+		})
+	}
 	for _, name := range names {
 		c := b.Collectives[name]
 		w.section(sectionCollective, func(w *binaryWriter) {
@@ -141,6 +158,24 @@ func (b *Bundle) EncodeBinary() ([]byte, error) {
 		})
 	}
 	return w.buf, nil
+}
+
+func encodeFeatureStats(w *binaryWriter, s *FeatureStats) {
+	w.str(s.Source)
+	names := s.FeatureNames()
+	w.u32(uint32(len(names)))
+	for _, name := range names {
+		d := s.Features[name]
+		w.str(name)
+		w.u32(uint32(len(d.Edges)))
+		for _, e := range d.Edges {
+			w.f64(e)
+		}
+		w.u32(uint32(len(d.Counts)))
+		for _, c := range d.Counts {
+			w.u64(c)
+		}
+	}
 }
 
 func encodeForest(w *binaryWriter, f *forest.Forest) {
@@ -279,6 +314,18 @@ func ParseBinary(data []byte) (*Bundle, error) {
 			if sec.err == nil && b.Version != SupportedVersion {
 				return nil, fmt.Errorf("unsupported bundle version %q (this build supports %q)", b.Version, SupportedVersion)
 			}
+		case sectionFeatureStats:
+			if b.Stats != nil {
+				return nil, fmt.Errorf("parse binary: duplicate feature_stats section")
+			}
+			fs, err := decodeFeatureStats(sec)
+			if err != nil {
+				return nil, fmt.Errorf("parse binary: %w", err)
+			}
+			if err := validateFeatureStats(fs); err != nil {
+				return nil, fmt.Errorf("validate: %w", err)
+			}
+			b.Stats = fs
 		case sectionCollective:
 			c, name, err := decodeCollective(sec)
 			if err != nil {
@@ -320,6 +367,37 @@ func ParseBinary(data []byte) (*Bundle, error) {
 		return nil, fmt.Errorf("validate: bundle contains no collectives")
 	}
 	return b, nil
+}
+
+func decodeFeatureStats(r *binaryReader) (*FeatureStats, error) {
+	s := &FeatureStats{Source: r.str(), Features: make(map[string]FeatureDist)}
+	nFeat := r.u32()
+	if int(nFeat) > r.remaining() {
+		return nil, fmt.Errorf("feature_stats: feature count %d exceeds remaining bytes", nFeat)
+	}
+	for i := uint32(0); i < nFeat && r.err == nil; i++ {
+		name := r.str()
+		var d FeatureDist
+		nEdges := r.u32()
+		if int(nEdges)*8 > r.remaining() {
+			return nil, fmt.Errorf("feature_stats: feature %q edge count %d exceeds remaining bytes", name, nEdges)
+		}
+		for e := uint32(0); e < nEdges && r.err == nil; e++ {
+			d.Edges = append(d.Edges, r.f64())
+		}
+		nCounts := r.u32()
+		if int(nCounts)*8 > r.remaining() {
+			return nil, fmt.Errorf("feature_stats: feature %q bin count %d exceeds remaining bytes", name, nCounts)
+		}
+		for c := uint32(0); c < nCounts && r.err == nil; c++ {
+			d.Counts = append(d.Counts, r.u64())
+		}
+		if _, dup := s.Features[name]; dup {
+			return nil, fmt.Errorf("feature_stats: duplicate feature %q", name)
+		}
+		s.Features[name] = d
+	}
+	return s, r.err
 }
 
 func decodeCollective(r *binaryReader) (*Collective, string, error) {

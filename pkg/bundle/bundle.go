@@ -114,9 +114,12 @@ type Bundle struct {
 	Version     string
 	TrainedOn   []string
 	Collectives map[string]*Collective
-	Path        string
-	SizeBytes   int64
-	LoadedAt    time.Time
+	// Stats is the optional training-distribution snapshot (reserved
+	// "feature_stats" key). Nil for bundles written before it existed.
+	Stats     *FeatureStats
+	Path      string
+	SizeBytes int64
+	LoadedAt  time.Time
 	// Hash is the hex SHA-256 of the raw bundle bytes. The registry keys
 	// generation identity and change detection on it.
 	Hash string
@@ -219,9 +222,19 @@ func Parse(data []byte) (*Bundle, error) {
 			return nil, fmt.Errorf("parse: bad \"trained_on\" field: %w", err)
 		}
 	}
+	if fsRaw, ok := raw["feature_stats"]; ok {
+		var fs FeatureStats
+		if err := json.Unmarshal(fsRaw, &fs); err != nil {
+			return nil, fmt.Errorf("parse: bad \"feature_stats\" field: %w", err)
+		}
+		if err := validateFeatureStats(&fs); err != nil {
+			return nil, fmt.Errorf("validate: %w", err)
+		}
+		b.Stats = &fs
+	}
 
 	for key, msg := range raw {
-		if key == "version" || key == "trained_on" {
+		if key == "version" || key == "trained_on" || key == "feature_stats" {
 			continue
 		}
 		c := &Collective{Name: key}

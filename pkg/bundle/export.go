@@ -25,13 +25,19 @@ func (b *Bundle) Encode() ([]byte, error) {
 	if len(b.Collectives) == 0 {
 		return nil, fmt.Errorf("encode: bundle contains no collectives")
 	}
-	doc := make(map[string]any, len(b.Collectives)+2)
+	doc := make(map[string]any, len(b.Collectives)+3)
 	doc["version"] = version
 	if len(b.TrainedOn) > 0 {
 		doc["trained_on"] = b.TrainedOn
 	}
+	if b.Stats != nil {
+		if err := validateFeatureStats(b.Stats); err != nil {
+			return nil, fmt.Errorf("encode: %w", err)
+		}
+		doc["feature_stats"] = b.Stats
+	}
 	for name, c := range b.Collectives {
-		if name == "version" || name == "trained_on" {
+		if name == "version" || name == "trained_on" || name == "feature_stats" {
 			return nil, fmt.Errorf("encode: collective name %q collides with a reserved bundle key", name)
 		}
 		if err := validateCollective(c); err != nil {

@@ -108,6 +108,14 @@ func FuzzCompiledVsPointer(f *testing.F) {
 		}
 		samePrediction(t, "compiled", got, want)
 
+		// The vote margin feeds confidence telemetry, so it must also be
+		// bit-identical across evaluators — a margin computed from compiled
+		// probs equals one computed from pointer probs, bit for bit.
+		if mg, mw := forest.Margin(got.Probs), forest.Margin(want.Probs); math.Float64bits(mg) != math.Float64bits(mw) {
+			t.Fatalf("margin: compiled %x != pointer %x (%v vs %v)",
+				math.Float64bits(mg), math.Float64bits(mw), mg, mw)
+		}
+
 		out := make([]forest.Prediction, 1)
 		if err := cf.PredictBatch([][]float64{x}, out); err != nil {
 			t.Fatalf("PredictBatch: %v", err)

@@ -94,6 +94,36 @@ type Prediction struct {
 	Votes []int
 }
 
+// Margin is the soft-vote confidence of a prediction: the gap between the
+// top two entries of probs, in [0,1] for a probability distribution. A
+// margin near zero means the forest nearly tied two algorithms — the
+// decisions most worth auditing. With fewer than two classes the single
+// probability is returned, and an empty slice yields 0. The computation is
+// a pure function of probs, so the pointer and compiled evaluators (whose
+// Probs are bit-identical) reconstruct bit-identical margins.
+func Margin(probs []float64) float64 {
+	top, second := 0.0, 0.0
+	switch len(probs) {
+	case 0:
+		return 0
+	case 1:
+		return probs[0]
+	}
+	if probs[0] >= probs[1] {
+		top, second = probs[0], probs[1]
+	} else {
+		top, second = probs[1], probs[0]
+	}
+	for _, p := range probs[2:] {
+		if p > top {
+			second, top = top, p
+		} else if p > second {
+			second = p
+		}
+	}
+	return top - second
+}
+
 // accumulate walks trees[lo:hi] on x, adding each leaf's distribution into
 // acc and its hard vote into votes. Tree indices in errors are absolute.
 func (f *Forest) accumulate(lo, hi int, x []float64, acc []float64, votes []int) error {

@@ -33,6 +33,29 @@ type Report struct {
 	// Shadow is the post-run /debug/shadow report when shadow evaluation
 	// is mounted.
 	Shadow *registry.ShadowReport `json:"shadow,omitempty"`
+	// ModelHealth is the post-run model-health view when the observatory
+	// is mounted: drift verdicts from /debug/drift plus margin and
+	// flight-recorder deltas from /metrics.
+	ModelHealth *ModelHealthReport `json:"model_health,omitempty"`
+}
+
+// ModelHealthReport summarizes the observatory's verdict on the run.
+type ModelHealthReport struct {
+	// DriftStatus is the overall post-run drift status ("ok", "warn",
+	// "alert", "collecting", "no_reference").
+	DriftStatus string `json:"drift_status"`
+	// DriftLastPSI maps each monitored feature to the PSI of its most
+	// recent completed window.
+	DriftLastPSI map[string]float64 `json:"drift_last_psi,omitempty"`
+	// DriftFeatureStatus maps each monitored feature to its own status.
+	DriftFeatureStatus map[string]string `json:"drift_feature_status,omitempty"`
+	// MarginObservations / LowMarginDecisions are run-window deltas of the
+	// vote-margin telemetry; LowMarginRate is their ratio.
+	MarginObservations uint64  `json:"margin_observations"`
+	LowMarginDecisions uint64  `json:"low_margin_decisions"`
+	LowMarginRate      float64 `json:"low_margin_rate"`
+	// FlightRecords is the run-window delta of anomaly records captured.
+	FlightRecords uint64 `json:"flightrec_records"`
 }
 
 // RunConfig records the knobs that produced the run. SequenceHash pins the

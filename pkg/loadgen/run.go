@@ -180,7 +180,8 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 
 	// Post-run server-side evidence. The run is already complete, so a
 	// scrape failure degrades the report instead of failing it.
-	if metricsAfter, err := p.metrics(ctx); err == nil {
+	metricsAfter, err := p.metrics(ctx)
+	if err == nil {
 		rep.Delta = metricsAfter.delta(metricsBefore)
 	} else {
 		opts.Logf("loadgen: post-run /metrics scrape failed: %v", err)
@@ -190,6 +191,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	if sh, err := p.shadow(ctx); err == nil && sh != nil {
 		rep.Shadow = sh
+	}
+	if dr, err := p.drift(ctx); err == nil && dr != nil {
+		rep.ModelHealth = modelHealthReport(dr, metricsBefore, metricsAfter)
 	}
 	if gens, err := p.decisionsByGeneration(ctx); err == nil && len(gens) > 0 {
 		rep.Delta.RecentDecisionsByGeneration = gens

@@ -15,6 +15,7 @@ import (
 	"github.com/pml-mpi/pmlmpi/pkg/admin"
 	"github.com/pml-mpi/pmlmpi/pkg/analytics"
 	"github.com/pml-mpi/pmlmpi/pkg/cache"
+	"github.com/pml-mpi/pmlmpi/pkg/modelhealth"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
@@ -37,13 +38,15 @@ func newLiveServer(t *testing.T, evalMode string) *httptest.Server {
 		t.Fatalf("promote: %v", err)
 	}
 	tracker := slo.New(o.Registry, slo.Objectives{SelectP99: time.Millisecond, Availability: 0.999})
+	health := modelhealth.New(o.Registry, modelhealth.Config{})
 	sel := selector.NewFromSource(r, o, selector.Config{
 		RingSize:   1024,
 		Cache:      cache.New(cache.Config{}, o.Registry),
 		SLO:        tracker,
 		ForestEval: evalMode,
+		Health:     health,
 	})
-	srv := httptest.NewServer(admin.New(sel, o, admin.Config{Registry: r, SLO: tracker}))
+	srv := httptest.NewServer(admin.New(sel, o, admin.Config{Registry: r, SLO: tracker, Health: health}))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -257,6 +260,67 @@ func TestRunIdenticalAcrossEvalModes(t *testing.T) {
 	if !reflect.DeepEqual(a.classes, b.classes) {
 		t.Errorf("per-collective class tallies differ across eval modes:\ncompiled: %v\npointer:  %v",
 			a.classes, b.classes)
+	}
+}
+
+// TestRunDriftVerdicts is the end-to-end drift check: a workload drawn
+// uniformly from the training sweep's own grids must leave /debug/drift at
+// "ok", and the same-size workload shifted entirely outside the training
+// support must flip it to "alert". Both runs are seeded, so the verdicts
+// are deterministic. The committed spec files are the same ones the CI
+// drift smoke replays against a real server binary.
+func TestRunDriftVerdicts(t *testing.T) {
+	cases := []struct {
+		specFile   string
+		wantStatus string
+	}{
+		{"spec_sweep_indist.json", "ok"},
+		{"spec_sweep_shifted.json", "alert"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.specFile, func(t *testing.T) {
+			spec, err := LoadSpec(filepath.Join("testdata", tc.specFile))
+			if err != nil {
+				t.Fatalf("load spec: %v", err)
+			}
+			srv := newLiveServer(t, selector.EvalCompiled)
+			// 800 scheduled requests complete one full default drift window
+			// (512) for every monitored feature.
+			rep, err := Run(context.Background(), Options{
+				BaseURL:  srv.URL,
+				Spec:     &spec,
+				Seed:     7,
+				QPS:      800,
+				Duration: time.Second,
+				Workers:  8,
+				Logf:     t.Logf,
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if rep.Client.Errors != 0 {
+				t.Fatalf("errors = %d (%v), want 0", rep.Client.Errors, rep.Client.ErrorsByKind)
+			}
+			mh := rep.ModelHealth
+			if mh == nil {
+				t.Fatal("report has no model_health section despite a mounted observatory")
+			}
+			if mh.DriftStatus != tc.wantStatus {
+				t.Fatalf("drift status = %q (per-feature PSI %v), want %q",
+					mh.DriftStatus, mh.DriftLastPSI, tc.wantStatus)
+			}
+			// Every scheduled request fed the margin telemetry exactly once.
+			if mh.MarginObservations != uint64(rep.Config.Scheduled) {
+				t.Errorf("margin observations = %d, want %d (one per scheduled request)",
+					mh.MarginObservations, rep.Config.Scheduled)
+			}
+			for feat, status := range mh.DriftFeatureStatus {
+				if status != tc.wantStatus {
+					t.Errorf("feature %s status = %q, want %q (psi %v)",
+						feat, status, tc.wantStatus, mh.DriftLastPSI[feat])
+				}
+			}
+		})
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"github.com/pml-mpi/pmlmpi/pkg/analytics"
+	"github.com/pml-mpi/pmlmpi/pkg/modelhealth"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
 )
@@ -88,6 +89,20 @@ func (p *probe) shadow(ctx context.Context) (*registry.ShadowReport, error) {
 	return &rep, nil
 }
 
+// drift returns the /debug/drift report, or nil when the endpoint is not
+// mounted (model-health observatory disabled).
+func (p *probe) drift(ctx context.Context) (*modelhealth.DriftReport, error) {
+	var rep modelhealth.DriftReport
+	err := p.getJSON(ctx, "/debug/drift", &rep)
+	if err != nil {
+		if strings.Contains(err.Error(), "404") {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return &rep, nil
+}
+
 // decisionsByGeneration tallies the /debug/decisions ring by model
 // generation. The ring is bounded, so this is a recent-window sample — the
 // fleet-level "which generation answered" signal, not an exact count.
@@ -119,6 +134,10 @@ type metricsSnapshot struct {
 	buckets     map[float64]float64
 	sum         float64
 	count       float64
+
+	marginCount   float64 // pmlmpi_margin_vote observations across collectives
+	marginLow     float64 // pmlmpi_margin_low_total across collectives
+	flightRecords float64 // pmlmpi_flightrec_records_total across reasons
 }
 
 func (p *probe) metrics(ctx context.Context) (*metricsSnapshot, error) {
@@ -168,6 +187,12 @@ func parseMetrics(text string) (*metricsSnapshot, error) {
 		case "pmlmpi_select_duration_seconds_count":
 			snap.count += value
 			snap.pathCounts[labels["path"]] += value
+		case "pmlmpi_margin_vote_count":
+			snap.marginCount += value
+		case "pmlmpi_margin_low_total":
+			snap.marginLow += value
+		case "pmlmpi_flightrec_records_total":
+			snap.flightRecords += value
 		case "pmlmpi_select_duration_seconds_bucket":
 			le, err := parseLE(labels["le"])
 			if err != nil {
@@ -293,6 +318,30 @@ func (after *metricsSnapshot) delta(before *metricsSnapshot) ServerDelta {
 	count := clampU64(after.count - before.count)
 	d.SelectLatency = obs.SummaryFromBuckets(bounds, counts, after.sum-before.sum, count)
 	return d
+}
+
+// modelHealthReport folds the post-run drift report and the margin /
+// flight-recorder counter deltas into the report's model_health section.
+// after may be nil (failed post-run scrape); the drift verdicts still land.
+func modelHealthReport(dr *modelhealth.DriftReport, before, after *metricsSnapshot) *ModelHealthReport {
+	mh := &ModelHealthReport{DriftStatus: dr.Status}
+	if len(dr.Features) > 0 {
+		mh.DriftLastPSI = make(map[string]float64, len(dr.Features))
+		mh.DriftFeatureStatus = make(map[string]string, len(dr.Features))
+		for _, f := range dr.Features {
+			mh.DriftLastPSI[f.Feature] = f.LastPSI
+			mh.DriftFeatureStatus[f.Feature] = f.Status
+		}
+	}
+	if after != nil {
+		mh.MarginObservations = clampU64(after.marginCount - before.marginCount)
+		mh.LowMarginDecisions = clampU64(after.marginLow - before.marginLow)
+		mh.FlightRecords = clampU64(after.flightRecords - before.flightRecords)
+		if mh.MarginObservations > 0 {
+			mh.LowMarginRate = float64(mh.LowMarginDecisions) / float64(mh.MarginObservations)
+		}
+	}
+	return mh
 }
 
 func clampU64(v float64) uint64 {

@@ -1,0 +1,306 @@
+package modelhealth
+
+import (
+	"math"
+	"sync"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+)
+
+// DefaultDriftFeatures are the canonical features monitored for drift by
+// default: the workload axes that vary request-to-request. Hardware
+// features (clock, cache, link speed, ...) are a per-deployment point mass
+// — a cluster pins them to one value inside the training support — so
+// scoring them against the multi-system training sweep would alert on
+// every healthy deployment. Operators monitoring heterogeneous fleets can
+// widen the set via Config.Features.
+var DefaultDriftFeatures = []string{"num_nodes", "ppn", "log2_msg_size"}
+
+// Drift status levels, ordered by severity. The overall status is the
+// worst per-feature status.
+type DriftStatus int
+
+const (
+	// DriftNoReference: the active bundle carries no feature_stats, so
+	// there is nothing to score against (old bundles are tolerated).
+	DriftNoReference DriftStatus = iota
+	// DriftCollecting: a reference exists but no monitored feature has
+	// completed a full window yet.
+	DriftCollecting
+	// DriftOK: every completed window scored below the WARN threshold.
+	DriftOK
+	// DriftWarn: some feature's last window scored in [warn, alert).
+	DriftWarn
+	// DriftAlert: some feature's last window scored at or above the alert
+	// threshold — live traffic no longer looks like the training sweep.
+	DriftAlert
+)
+
+// String returns the lowercase JSON form of the status.
+func (s DriftStatus) String() string {
+	switch s {
+	case DriftNoReference:
+		return "no_reference"
+	case DriftCollecting:
+		return "collecting"
+	case DriftOK:
+		return "ok"
+	case DriftWarn:
+		return "warn"
+	case DriftAlert:
+		return "alert"
+	}
+	return "unknown"
+}
+
+// GaugeValue maps the status onto the pmlmpi_drift_status gauge:
+// -1 = no data, 0 = ok, 1 = warn, 2 = alert.
+func (s DriftStatus) GaugeValue() float64 {
+	switch s {
+	case DriftOK:
+		return 0
+	case DriftWarn:
+		return 1
+	case DriftAlert:
+		return 2
+	}
+	return -1
+}
+
+// warnFraction sets the WARN threshold as a fraction of the ALERT
+// threshold, so the classic PSI pairing (0.1 warn / 0.25 alert) holds at
+// the default alert level and scales with -drift-alert-psi.
+const warnFraction = 0.4
+
+// psiEpsilon is the Laplace smoothing count added to every bin on both
+// sides of the PSI computation, keeping the score finite when a bin is
+// empty on either side.
+const psiEpsilon = 0.5
+
+// smoothProps converts bin counts into Laplace-smoothed proportions.
+func smoothProps(counts []uint64, total uint64) []float64 {
+	k := float64(len(counts))
+	denom := float64(total) + psiEpsilon*k
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = (float64(c) + psiEpsilon) / denom
+	}
+	return out
+}
+
+// psiAgainst computes the population stability index of the live counts
+// against precomputed smoothed reference proportions. Pure and
+// deterministic: fixed iteration order, no accumulator reuse.
+func psiAgainst(live []uint64, liveTotal uint64, refProps []float64) float64 {
+	denom := float64(liveTotal) + psiEpsilon*float64(len(refProps))
+	var sum float64
+	for i, rp := range refProps {
+		q := (float64(live[i]) + psiEpsilon) / denom
+		sum += (q - rp) * math.Log(q/rp)
+	}
+	return sum
+}
+
+// featureMonitor scores one canonical feature's live distribution against
+// its training reference over tumbling count-based windows. A mutex
+// serializes observations so window boundaries are exact — the same
+// per-record locking cost class as the striped obs histograms — and the
+// window sketch is reset in place, so the steady state allocates nothing.
+type featureMonitor struct {
+	name     string
+	refProps []float64 // smoothed reference proportions, fixed at build
+
+	mu         sync.Mutex
+	window     *Sketch // current tumbling window, reset in place
+	cumulative *Sketch // all observations since the reference was set
+	scratch    []uint64
+	windows    uint64  // completed windows
+	lastPSI    float64 // PSI of the most recent completed window
+	cumPSI     float64 // PSI of cumulative, recomputed at each rotation
+}
+
+func newFeatureMonitor(name string, d bundle.FeatureDist) *featureMonitor {
+	return &featureMonitor{
+		name:       name,
+		refProps:   smoothProps(d.Counts, d.Total()),
+		window:     MustSketch(d.Edges),
+		cumulative: MustSketch(d.Edges),
+		scratch:    make([]uint64, len(d.Counts)),
+	}
+}
+
+// observe records one live value, rotating the window when it fills;
+// reports whether a rotation (and so a fresh PSI score) happened.
+func (m *featureMonitor) observe(v float64, windowSize int) bool {
+	m.mu.Lock()
+	m.window.Observe(v)
+	m.cumulative.Observe(v)
+	rotated := m.window.Total() >= uint64(windowSize)
+	if rotated {
+		liveTotal := m.window.CountsInto(m.scratch)
+		m.lastPSI = psiAgainst(m.scratch, liveTotal, m.refProps)
+		cumTotal := m.cumulative.CountsInto(m.scratch)
+		m.cumPSI = psiAgainst(m.scratch, cumTotal, m.refProps)
+		m.windows++
+		m.window.Reset()
+	}
+	m.mu.Unlock()
+	return rotated
+}
+
+// status grades the last completed window against the thresholds.
+func (m *featureMonitor) status(alertPSI float64) (DriftStatus, float64, uint64) {
+	m.mu.Lock()
+	psi, windows := m.lastPSI, m.windows
+	m.mu.Unlock()
+	switch {
+	case windows == 0:
+		return DriftCollecting, 0, 0
+	case psi >= alertPSI:
+		return DriftAlert, psi, windows
+	case psi >= alertPSI*warnFraction:
+		return DriftWarn, psi, windows
+	default:
+		return DriftOK, psi, windows
+	}
+}
+
+// FeatureDrift is one feature's entry in the /debug/drift report.
+type FeatureDrift struct {
+	Feature string `json:"feature"`
+	Status  string `json:"status"`
+	// LastPSI is the population-stability index of the most recent
+	// completed window against the training reference.
+	LastPSI float64 `json:"last_psi"`
+	// CumulativePSI scores everything seen this generation.
+	CumulativePSI float64 `json:"cumulative_psi"`
+	// Windows is the number of completed windows.
+	Windows uint64 `json:"windows"`
+	// Pending is the fill level of the current (incomplete) window.
+	Pending uint64 `json:"pending"`
+	// Live is the cumulative live sketch for this generation.
+	Live SketchSnapshot `json:"live"`
+	// Reference is the training distribution scored against.
+	Reference SketchSnapshot `json:"reference"`
+}
+
+// DriftReport is the /debug/drift payload.
+type DriftReport struct {
+	Status string `json:"status"`
+	// Generation is the registry generation the live sketches describe.
+	Generation uint64 `json:"generation"`
+	// ReferenceSource echoes bundle.FeatureStats.Source when present.
+	ReferenceSource string `json:"reference_source,omitempty"`
+	// WindowSize is the observations-per-window rotation threshold.
+	WindowSize int     `json:"window_size"`
+	WarnPSI    float64 `json:"warn_psi"`
+	AlertPSI   float64 `json:"alert_psi"`
+	// Features lists monitored features in sorted name order; empty when
+	// the active bundle has no feature_stats.
+	Features []FeatureDrift `json:"features"`
+}
+
+// driftSet is the per-generation collection of feature monitors, indexed
+// by canonical feature index for the hot path. Built whole on each
+// generation swap and swapped in atomically, so in-flight observations
+// always land in a coherent generation's sketches.
+type driftSet struct {
+	gen      uint64
+	source   string
+	byCanon  []*featureMonitor // len(bundle.CanonicalFeatures); nil = unmonitored
+	monitors []*featureMonitor // sorted by name, for reports
+	refs     map[string]bundle.FeatureDist
+}
+
+// newDriftSet builds monitors for every requested feature present in the
+// bundle's stats. Returns a set with no monitors when stats is nil.
+func newDriftSet(gen uint64, stats *bundle.FeatureStats, features []string) *driftSet {
+	ds := &driftSet{gen: gen, byCanon: make([]*featureMonitor, len(bundle.CanonicalFeatures))}
+	if stats == nil {
+		return ds
+	}
+	ds.source = stats.Source
+	ds.refs = stats.Features
+	canonIndex := make(map[string]int, len(bundle.CanonicalFeatures))
+	for i, n := range bundle.CanonicalFeatures {
+		canonIndex[n] = i
+	}
+	seen := make(map[string]bool, len(features))
+	for _, name := range features {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		d, ok := stats.Features[name]
+		if !ok {
+			continue
+		}
+		idx, ok := canonIndex[name]
+		if !ok {
+			continue
+		}
+		m := newFeatureMonitor(name, d)
+		ds.byCanon[idx] = m
+		ds.monitors = append(ds.monitors, m)
+	}
+	// features was caller-ordered; keep report order stable by name.
+	for i := 1; i < len(ds.monitors); i++ {
+		for j := i; j > 0 && ds.monitors[j-1].name > ds.monitors[j].name; j-- {
+			ds.monitors[j-1], ds.monitors[j] = ds.monitors[j], ds.monitors[j-1]
+		}
+	}
+	return ds
+}
+
+// status is the worst per-feature status, or DriftNoReference with no
+// monitors.
+func (ds *driftSet) status(alertPSI float64) DriftStatus {
+	if len(ds.monitors) == 0 {
+		return DriftNoReference
+	}
+	worst := DriftCollecting
+	sawWindow := false
+	for _, m := range ds.monitors {
+		st, _, windows := m.status(alertPSI)
+		if windows > 0 {
+			sawWindow = true
+		}
+		if st > worst {
+			worst = st
+		}
+	}
+	if !sawWindow {
+		return DriftCollecting
+	}
+	if worst == DriftCollecting {
+		return DriftOK
+	}
+	return worst
+}
+
+// report builds the features section of the drift report.
+func (ds *driftSet) report(alertPSI float64) []FeatureDrift {
+	out := make([]FeatureDrift, 0, len(ds.monitors))
+	for _, m := range ds.monitors {
+		st, _, _ := m.status(alertPSI)
+		m.mu.Lock()
+		fd := FeatureDrift{
+			Feature:       m.name,
+			Status:        st.String(),
+			LastPSI:       m.lastPSI,
+			CumulativePSI: m.cumPSI,
+			Windows:       m.windows,
+			Pending:       m.window.Total(),
+			Live:          m.cumulative.Snapshot(),
+		}
+		m.mu.Unlock()
+		d := ds.refs[m.name]
+		fd.Reference = SketchSnapshot{
+			Edges:  append([]float64(nil), d.Edges...),
+			Counts: append([]uint64(nil), d.Counts...),
+			Total:  d.Total(),
+		}
+		out = append(out, fd)
+	}
+	return out
+}

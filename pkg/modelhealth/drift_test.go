@@ -1,0 +1,178 @@
+package modelhealth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+)
+
+// uniformRef is a 4-bin training reference, uniform over (0,30] in steps of
+// ten, 100 observations per bin.
+func uniformRef() bundle.FeatureDist {
+	return bundle.FeatureDist{
+		Edges:  []float64{10, 20, 30},
+		Counts: []uint64{100, 100, 100, 100},
+	}
+}
+
+func TestPSIZeroForMatchingDistribution(t *testing.T) {
+	d := uniformRef()
+	refProps := smoothProps(d.Counts, d.Total())
+	live := []uint64{50, 50, 50, 50}
+	if psi := psiAgainst(live, 200, refProps); math.Abs(psi) > 1e-9 {
+		t.Fatalf("PSI of an identically-proportioned window = %v, want ~0", psi)
+	}
+}
+
+func TestPSILargeForDisjointDistribution(t *testing.T) {
+	d := uniformRef()
+	refProps := smoothProps(d.Counts, d.Total())
+	live := []uint64{0, 0, 0, 200} // everything in the overflow bin
+	if psi := psiAgainst(live, 200, refProps); psi < 1 {
+		t.Fatalf("PSI of a disjoint window = %v, want >> alert threshold", psi)
+	}
+}
+
+func TestFeatureMonitorWindowRotation(t *testing.T) {
+	m := newFeatureMonitor("f", uniformRef())
+	rng := rand.New(rand.NewSource(5))
+	const window = 64
+	for i := 0; i < window-1; i++ {
+		if rotated := m.observe(rng.Float64()*40, window); rotated {
+			t.Fatalf("rotated after %d observations, window is %d", i+1, window)
+		}
+	}
+	if st, _, _ := m.status(0.25); st != DriftCollecting {
+		t.Fatalf("status before first rotation = %v, want collecting", st)
+	}
+	if !m.observe(5, window) {
+		t.Fatal("window-filling observation did not rotate")
+	}
+	st, psi, windows := m.status(0.25)
+	if windows != 1 {
+		t.Fatalf("windows = %d, want 1", windows)
+	}
+	if st != DriftOK {
+		t.Fatalf("in-distribution window status = %v (psi %v), want ok", st, psi)
+	}
+	if m.window.Total() != 0 {
+		t.Fatalf("window not reset after rotation: %d pending", m.window.Total())
+	}
+	if m.cumulative.Total() != window {
+		t.Fatalf("cumulative = %d, want %d", m.cumulative.Total(), window)
+	}
+}
+
+func TestFeatureMonitorStatusThresholds(t *testing.T) {
+	// Everything far outside the training support must alert.
+	m := newFeatureMonitor("f", uniformRef())
+	for i := 0; i < 32; i++ {
+		m.observe(1e6, 32)
+	}
+	if st, psi, _ := m.status(0.25); st != DriftAlert {
+		t.Fatalf("fully shifted window status = %v (psi %v), want alert", st, psi)
+	}
+
+	// A matching window scores ok even at a tight alert threshold.
+	m2 := newFeatureMonitor("f", uniformRef())
+	for i := 0; i < 32; i++ {
+		m2.observe(float64(i%4)*10+5, 32)
+	}
+	if st, psi, _ := m2.status(0.25); st != DriftOK {
+		t.Fatalf("matching window status = %v (psi %v), want ok", st, psi)
+	}
+
+	// The warn band sits at [0.4*alert, alert): grade a mild skew against
+	// a threshold pair chosen to land the PSI between them.
+	m3 := newFeatureMonitor("f", uniformRef())
+	for i := 0; i < 64; i++ {
+		bin := i % 8 // bins 0..3 twice as likely as overflow never hit
+		if bin >= 4 {
+			bin = 0 // skew mass onto the first bin
+		}
+		m3.observe(float64(bin)*10+5, 64)
+	}
+	_, psi, _ := m3.status(0.25)
+	if psi <= 0 {
+		t.Fatalf("skewed window PSI = %v, want > 0", psi)
+	}
+	if st, _, _ := m3.status(psi * 2); st != DriftWarn {
+		t.Fatalf("status with alert=2*psi = %v, want warn (psi %v)", st, psi)
+	}
+	if st, _, _ := m3.status(psi / 2); st != DriftAlert {
+		t.Fatalf("status with alert=psi/2 = %v, want alert", st)
+	}
+}
+
+func TestDriftSetLifecycle(t *testing.T) {
+	// No stats: nothing to monitor.
+	empty := newDriftSet(1, nil, DefaultDriftFeatures)
+	if st := empty.status(0.25); st != DriftNoReference {
+		t.Fatalf("nil-stats status = %v, want no_reference", st)
+	}
+
+	stats := &bundle.FeatureStats{
+		Source: "test",
+		Features: map[string]bundle.FeatureDist{
+			"num_nodes": uniformRef(),
+			"ppn":       uniformRef(),
+		},
+	}
+	// log2_msg_size requested but absent from stats: silently skipped.
+	ds := newDriftSet(2, stats, DefaultDriftFeatures)
+	if len(ds.monitors) != 2 {
+		t.Fatalf("monitors = %d, want 2", len(ds.monitors))
+	}
+	if ds.monitors[0].name != "num_nodes" || ds.monitors[1].name != "ppn" {
+		t.Fatalf("monitors not name-sorted: %s, %s", ds.monitors[0].name, ds.monitors[1].name)
+	}
+	if st := ds.status(0.25); st != DriftCollecting {
+		t.Fatalf("fresh set status = %v, want collecting", st)
+	}
+
+	// Rotate one monitor in-distribution (one value per reference bin, so
+	// the window matches the uniform reference exactly), the other shifted:
+	// worst wins.
+	for _, v := range []float64{5, 15, 25, 35} {
+		ds.monitors[0].observe(v, 4)
+		ds.monitors[1].observe(1e9, 4)
+	}
+	if st := ds.status(0.25); st != DriftAlert {
+		t.Fatalf("one-alerting-feature status = %v, want alert", st)
+	}
+
+	rep := ds.report(0.25)
+	if len(rep) != 2 {
+		t.Fatalf("report has %d features", len(rep))
+	}
+	if rep[0].Status != "ok" || rep[1].Status != "alert" {
+		t.Fatalf("report statuses = %s/%s, want ok/alert", rep[0].Status, rep[1].Status)
+	}
+	if rep[1].Reference.Total != 400 {
+		t.Fatalf("reference total = %d, want 400", rep[1].Reference.Total)
+	}
+	if rep[1].Live.Total != 4 {
+		t.Fatalf("live total = %d, want 4", rep[1].Live.Total)
+	}
+}
+
+func TestDriftStatusStrings(t *testing.T) {
+	want := map[DriftStatus]string{
+		DriftNoReference: "no_reference",
+		DriftCollecting:  "collecting",
+		DriftOK:          "ok",
+		DriftWarn:        "warn",
+		DriftAlert:       "alert",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), s)
+		}
+	}
+	if DriftOK.GaugeValue() != 0 || DriftWarn.GaugeValue() != 1 ||
+		DriftAlert.GaugeValue() != 2 || DriftCollecting.GaugeValue() != -1 {
+		t.Error("gauge mapping changed")
+	}
+}

@@ -1,0 +1,559 @@
+package modelhealth
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+// Config shapes the observatory. Zero values take the documented defaults,
+// so Config{} is usable.
+type Config struct {
+	// Window is the observations-per-feature tumbling-window size for
+	// drift scoring. Default 512.
+	Window int
+	// AlertPSI is the per-window population-stability index at which a
+	// feature's drift status becomes ALERT; WARN sits at 40% of it, so the
+	// default 0.25 gives the classic 0.1/0.25 PSI pairing.
+	AlertPSI float64
+	// MarginWarn is the vote-margin below which a decision counts as
+	// low-confidence. Default 0.15.
+	MarginWarn float64
+	// FlightRecSize is the anomaly flight-recorder capacity. Default 256.
+	FlightRecSize int
+	// Features lists the canonical features to score for drift. Default
+	// DefaultDriftFeatures (the workload axes).
+	Features []string
+	// MaxGenerations bounds how many per-generation scorecards are kept.
+	// Default 8; the active generation's card is never evicted.
+	MaxGenerations int
+}
+
+// Config defaults, exported so flag declarations can echo them.
+const (
+	DefaultWindow        = 512
+	DefaultAlertPSI      = 0.25
+	DefaultMarginWarn    = 0.15
+	DefaultFlightRecSize = 256
+)
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.AlertPSI <= 0 {
+		c.AlertPSI = DefaultAlertPSI
+	}
+	if c.MarginWarn <= 0 {
+		c.MarginWarn = DefaultMarginWarn
+	}
+	if c.FlightRecSize <= 0 {
+		c.FlightRecSize = DefaultFlightRecSize
+	}
+	if len(c.Features) == 0 {
+		c.Features = DefaultDriftFeatures
+	}
+	if c.MaxGenerations <= 0 {
+		c.MaxGenerations = 8
+	}
+	return c
+}
+
+// marginEdges are the fixed vote-margin sketch/histogram bins: 0.05-wide
+// steps across [0,1].
+var marginEdges = func() []float64 {
+	out := make([]float64, 19)
+	for i := range out {
+		out[i] = float64(i+1) * 0.05
+	}
+	return out
+}()
+
+// latencyEdgesNS are the per-generation latency sketch bins: 1µs to ~1s in
+// nanoseconds, doubling.
+var latencyEdgesNS = obs.ExponentialBuckets(1e3, 2, 21)
+
+// tailRecomputeMask: the latency-tail threshold is re-derived from the
+// active card's latency sketch every (mask+1) decisions.
+const tailRecomputeMask = 1023
+
+// tailMinSamples gates the latency-tail anomaly trigger until the sketch
+// has enough data to make a p99 meaningful.
+const tailMinSamples = 512
+
+// marginCell is the pre-bound per-collective margin instrument pair; the
+// copy-on-write cell map keeps the hot path free of label joins.
+type marginCell struct {
+	hist obs.BoundHistogram
+	low  obs.BoundCounter
+}
+
+// genCard is one generation's scorecard: pure atomic counters plus two
+// sketches, so recording from the Select path costs a handful of atomic
+// adds. Frozen drift fields are written once at swap under Observatory.mu.
+type genCard struct {
+	gen       uint64
+	decisions atomic.Uint64
+	cacheHits atomic.Uint64
+	lowMargin atomic.Uint64
+	margins   *Sketch
+	latency   *Sketch
+
+	shadowSamples atomic.Uint64
+	shadowAgree   atomic.Uint64
+
+	// Frozen at generation swap (guarded by Observatory.mu): the drift
+	// picture at the moment this generation stopped being active.
+	frozenDriftStatus string
+	frozenDriftScores map[string]float64
+}
+
+func newGenCard(gen uint64) *genCard {
+	return &genCard{
+		gen:     gen,
+		margins: MustSketch(marginEdges),
+		latency: MustSketch(latencyEdgesNS),
+	}
+}
+
+// Observatory is the model-health hub fed by every Select. All hot-path
+// methods are allocation-free; reporting and gauge refresh happen on the
+// admin path.
+type Observatory struct {
+	cfg Config
+
+	drift       atomic.Pointer[driftSet]
+	driftStatus atomic.Int64 // DriftStatus, updated at rotation/refresh/swap
+
+	mu      sync.Mutex
+	cards   map[uint64]*genCard
+	order   []uint64 // insertion order for eviction
+	current atomic.Pointer[genCard]
+
+	flight        *FlightRecorder
+	latencyTailNS atomic.Int64
+
+	totalDecisions atomic.Uint64
+	lowDecisions   atomic.Uint64
+
+	cells  atomic.Pointer[map[string]*marginCell]
+	cellMu sync.Mutex
+
+	marginHist    *obs.Histogram
+	lowCounter    *obs.Counter
+	cObservations obs.BoundCounter
+	cFlightLow    obs.BoundCounter
+	cFlightDrift  obs.BoundCounter
+	cFlightTail   obs.BoundCounter
+	gPSI          *obs.Gauge
+	gCumPSI       *obs.Gauge
+	gWindows      *obs.Gauge
+	gStatus       *obs.Gauge
+	gRefLoaded    *obs.Gauge
+	gLowRate      *obs.Gauge
+	gFlightOcc    *obs.Gauge
+}
+
+// New builds an observatory and registers its instruments (pmlmpi_drift_*,
+// pmlmpi_margin_*, pmlmpi_flightrec_*) in reg.
+func New(reg *obs.Registry, cfg Config) *Observatory {
+	cfg = cfg.withDefaults()
+	o := &Observatory{
+		cfg:    cfg,
+		cards:  make(map[uint64]*genCard),
+		flight: NewFlightRecorder(cfg.FlightRecSize),
+		marginHist: reg.Histogram("pmlmpi_margin_vote",
+			"Vote margin (top-two probability gap) of every selection.", marginEdges, "collective"),
+		lowCounter: reg.Counter("pmlmpi_margin_low_total",
+			"Selections whose vote margin fell below the warn threshold.", "collective"),
+		gPSI: reg.Gauge("pmlmpi_drift_psi",
+			"Population-stability index of the last completed drift window per feature.", "feature"),
+		gCumPSI: reg.Gauge("pmlmpi_drift_cumulative_psi",
+			"Population-stability index of all observations this generation per feature.", "feature"),
+		gWindows: reg.Gauge("pmlmpi_drift_windows_completed",
+			"Completed drift windows per feature this generation.", "feature"),
+		gStatus: reg.Gauge("pmlmpi_drift_status",
+			"Overall drift status: -1 no data, 0 ok, 1 warn, 2 alert."),
+		gRefLoaded: reg.Gauge("pmlmpi_drift_reference_loaded",
+			"1 when the active bundle carries a training-distribution reference."),
+		gLowRate: reg.Gauge("pmlmpi_margin_low_rate",
+			"Fraction of selections below the margin warn threshold."),
+		gFlightOcc: reg.Gauge("pmlmpi_flightrec_occupancy",
+			"Anomaly flight-recorder slots currently holding a record."),
+	}
+	o.cObservations = reg.Counter("pmlmpi_drift_observations_total",
+		"Selections fed into the model-health observatory.").Bind()
+	flightTotal := reg.Counter("pmlmpi_flightrec_records_total",
+		"Anomalous decisions captured by the flight recorder, by trigger.", "reason")
+	o.cFlightLow = flightTotal.Bind("low_margin")
+	o.cFlightDrift = flightTotal.Bind("drift_alert")
+	o.cFlightTail = flightTotal.Bind("latency_tail")
+	reg.Gauge("pmlmpi_margin_warn_threshold",
+		"Configured vote-margin warn threshold.").Set(cfg.MarginWarn)
+	reg.Gauge("pmlmpi_flightrec_capacity",
+		"Anomaly flight-recorder ring capacity.").Set(float64(o.flight.Capacity()))
+	o.gStatus.Set(DriftNoReference.GaugeValue())
+	o.gRefLoaded.Set(0)
+	o.driftStatus.Store(int64(DriftNoReference))
+	empty := make(map[string]*marginCell)
+	o.cells.Store(&empty)
+	o.drift.Store(newDriftSet(0, nil, cfg.Features))
+	return o
+}
+
+// MarginWarn returns the configured low-margin threshold.
+func (o *Observatory) MarginWarn() float64 { return o.cfg.MarginWarn }
+
+// Flight returns the anomaly flight recorder.
+func (o *Observatory) Flight() *FlightRecorder { return o.flight }
+
+// cell returns the pre-bound instruments for a collective, creating them
+// off the hot path on first sight via copy-on-write.
+func (o *Observatory) cell(collective string) *marginCell {
+	if c, ok := (*o.cells.Load())[collective]; ok {
+		return c
+	}
+	o.cellMu.Lock()
+	defer o.cellMu.Unlock()
+	cur := *o.cells.Load()
+	if c, ok := cur[collective]; ok {
+		return c
+	}
+	next := make(map[string]*marginCell, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	c := &marginCell{
+		hist: o.marginHist.Bind(collective),
+		low:  o.lowCounter.Bind(collective),
+	}
+	next[collective] = c
+	o.cells.Store(&next)
+	return c
+}
+
+// card returns the scorecard for a generation, creating it off the hot
+// path on first sight.
+func (o *Observatory) card(gen uint64) *genCard {
+	if c := o.current.Load(); c != nil && c.gen == gen {
+		return c
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.cardLocked(gen)
+}
+
+func (o *Observatory) cardLocked(gen uint64) *genCard {
+	if c, ok := o.cards[gen]; ok {
+		return c
+	}
+	c := newGenCard(gen)
+	o.cards[gen] = c
+	o.order = append(o.order, gen)
+	cur := o.current.Load()
+	if cur == nil || gen >= cur.gen {
+		o.current.Store(c)
+		cur = c
+	}
+	for len(o.order) > o.cfg.MaxGenerations {
+		victim := o.order[0]
+		if victim == cur.gen {
+			break
+		}
+		o.order = o.order[1:]
+		delete(o.cards, victim)
+	}
+	return c
+}
+
+// RecordDecision feeds one completed selection into drift sketches, margin
+// telemetry, the generation scorecard, and — when anomalous — the flight
+// recorder. Called once per Select off the response path; allocation-free
+// in the steady state (new collectives and generations allocate once).
+// canonIdx[i] names the canonical feature index of x[i]; neither slice is
+// retained.
+func (o *Observatory) RecordDecision(gen uint64, collective, algorithm string,
+	canonIdx []int, x []float64, margin float64, cached bool, latencyNS int64) {
+	o.cObservations.Inc()
+	o.totalDecisions.Add(1)
+
+	low := margin < o.cfg.MarginWarn
+	cell := o.cell(collective)
+	cell.hist.Observe(margin)
+	if low {
+		cell.low.Inc()
+		o.lowDecisions.Add(1)
+	}
+
+	card := o.card(gen)
+	n := card.decisions.Add(1)
+	if cached {
+		card.cacheHits.Add(1)
+	}
+	if low {
+		card.lowMargin.Add(1)
+	}
+	card.margins.Observe(margin)
+	card.latency.Observe(float64(latencyNS))
+
+	// Drift sketches are generation-scoped: a straggling decision from a
+	// just-retired generation must not contaminate the fresh window, the
+	// same isolation the generation-prefixed decision cache gives.
+	ds := o.drift.Load()
+	if ds.gen == gen {
+		rotated := false
+		for i, ci := range canonIdx {
+			if ci < 0 || ci >= len(ds.byCanon) {
+				continue
+			}
+			if m := ds.byCanon[ci]; m != nil && m.observe(x[i], o.cfg.Window) {
+				rotated = true
+			}
+		}
+		if rotated {
+			o.driftStatus.Store(int64(ds.status(o.cfg.AlertPSI)))
+		}
+	}
+
+	// Re-derive the latency-tail threshold periodically from this
+	// generation's own latency sketch (p99 bracket upper edge).
+	if n&tailRecomputeMask == 0 && card.latency.Total() >= tailMinSamples {
+		_, hi := card.latency.QuantileBracket(0.99)
+		o.latencyTailNS.Store(int64(hi))
+	}
+
+	var reasons uint8
+	if low {
+		reasons |= ReasonLowMargin
+	}
+	drift := DriftStatus(o.driftStatus.Load())
+	if drift == DriftAlert {
+		reasons |= ReasonDriftAlert
+	}
+	if tail := o.latencyTailNS.Load(); tail > 0 && latencyNS > tail {
+		reasons |= ReasonLatencyTail
+	}
+	if reasons != 0 {
+		o.flight.Record(gen, collective, algorithm, canonIdx, x, margin, cached, latencyNS, reasons, drift)
+		if reasons&ReasonLowMargin != 0 {
+			o.cFlightLow.Inc()
+		}
+		if reasons&ReasonDriftAlert != 0 {
+			o.cFlightDrift.Inc()
+		}
+		if reasons&ReasonLatencyTail != 0 {
+			o.cFlightTail.Inc()
+		}
+	}
+}
+
+// RecordShadow attributes one shadow-evaluation outcome to the candidate
+// generation's scorecard, building the before/after quality record a
+// promotion decision wants.
+func (o *Observatory) RecordShadow(candidateGen uint64, agree bool) {
+	card := o.card(candidateGen)
+	card.shadowSamples.Add(1)
+	if agree {
+		card.shadowAgree.Add(1)
+	}
+}
+
+// OnSwap rotates generation-scoped state when the registry promotes or
+// rolls back: the outgoing generation's drift picture is frozen onto its
+// scorecard, fresh drift sketches are built from the new bundle's
+// embedded training reference (absent stats disable drift scoring), and a
+// fresh scorecard becomes current. Called from the selector's registry
+// subscription, right next to the decision-cache flush.
+func (o *Observatory) OnSwap(gen uint64, b *bundle.Bundle) {
+	var stats *bundle.FeatureStats
+	if b != nil {
+		stats = b.Stats
+	}
+	next := newDriftSet(gen, stats, o.cfg.Features)
+
+	o.mu.Lock()
+	prev := o.drift.Load()
+	if prev != nil && prev.gen != 0 && prev.gen != gen {
+		if card, ok := o.cards[prev.gen]; ok {
+			card.frozenDriftStatus = prev.status(o.cfg.AlertPSI).String()
+			card.frozenDriftScores = driftScores(prev)
+		}
+	}
+	o.drift.Store(next)
+	o.cardLocked(gen)
+	o.mu.Unlock()
+
+	o.latencyTailNS.Store(0)
+	st := next.status(o.cfg.AlertPSI)
+	o.driftStatus.Store(int64(st))
+	o.gStatus.Set(st.GaugeValue())
+	if len(next.monitors) > 0 {
+		o.gRefLoaded.Set(1)
+	} else {
+		o.gRefLoaded.Set(0)
+	}
+}
+
+// driftScores snapshots each monitor's last-window PSI.
+func driftScores(ds *driftSet) map[string]float64 {
+	out := make(map[string]float64, len(ds.monitors))
+	for _, m := range ds.monitors {
+		m.mu.Lock()
+		if m.windows > 0 {
+			out[m.name] = m.lastPSI
+		}
+		m.mu.Unlock()
+	}
+	return out
+}
+
+// lowMarginRate is lowDecisions/totalDecisions (0 when idle).
+func (o *Observatory) lowMarginRate() float64 {
+	total := o.totalDecisions.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(o.lowDecisions.Load()) / float64(total)
+}
+
+// Refresh re-derives every exported gauge from current state; called on
+// each /metrics scrape so the exposition is current without a background
+// goroutine.
+func (o *Observatory) Refresh() {
+	ds := o.drift.Load()
+	st := ds.status(o.cfg.AlertPSI)
+	o.driftStatus.Store(int64(st))
+	o.gStatus.Set(st.GaugeValue())
+	for _, m := range ds.monitors {
+		m.mu.Lock()
+		psi, cum, windows := m.lastPSI, m.cumPSI, m.windows
+		m.mu.Unlock()
+		o.gPSI.Set(psi, m.name)
+		o.gCumPSI.Set(cum, m.name)
+		o.gWindows.Set(float64(windows), m.name)
+	}
+	o.gLowRate.Set(o.lowMarginRate())
+	o.gFlightOcc.Set(float64(o.flight.Occupancy()))
+}
+
+// DriftReport builds the /debug/drift payload.
+func (o *Observatory) DriftReport() DriftReport {
+	ds := o.drift.Load()
+	return DriftReport{
+		Status:          ds.status(o.cfg.AlertPSI).String(),
+		Generation:      ds.gen,
+		ReferenceSource: ds.source,
+		WindowSize:      o.cfg.Window,
+		WarnPSI:         o.cfg.AlertPSI * warnFraction,
+		AlertPSI:        o.cfg.AlertPSI,
+		Features:        ds.report(o.cfg.AlertPSI),
+	}
+}
+
+// Scorecard is one generation's quality record, as served on
+// /debug/scorecards.
+type Scorecard struct {
+	Generation    uint64  `json:"generation"`
+	Active        bool    `json:"active"`
+	Decisions     uint64  `json:"decisions"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	LowMargin     uint64  `json:"low_margin"`
+	LowMarginRate float64 `json:"low_margin_rate"`
+	MarginP10     float64 `json:"margin_p10"`
+	MarginP50     float64 `json:"margin_p50"`
+	MarginP90     float64 `json:"margin_p90"`
+	LatencyP50NS  float64 `json:"latency_p50_ns"`
+	LatencyP99NS  float64 `json:"latency_p99_ns"`
+	ShadowSamples uint64  `json:"shadow_samples"`
+	// ShadowAgreeRate is the fraction of shadow evaluations (taken while
+	// this generation was the staged candidate) that agreed with the
+	// then-active generation. Zero with no samples.
+	ShadowAgreeRate float64 `json:"shadow_agree_rate"`
+	// DriftStatus/DriftScores are live for the active generation and
+	// frozen at swap for retired ones.
+	DriftStatus string             `json:"drift_status"`
+	DriftScores map[string]float64 `json:"drift_scores,omitempty"`
+}
+
+func (o *Observatory) scorecard(card *genCard, active bool) Scorecard {
+	sc := Scorecard{
+		Generation:    card.gen,
+		Active:        active,
+		Decisions:     card.decisions.Load(),
+		CacheHits:     card.cacheHits.Load(),
+		LowMargin:     card.lowMargin.Load(),
+		MarginP10:     card.margins.Quantile(0.10),
+		MarginP50:     card.margins.Quantile(0.50),
+		MarginP90:     card.margins.Quantile(0.90),
+		LatencyP50NS:  card.latency.Quantile(0.50),
+		LatencyP99NS:  card.latency.Quantile(0.99),
+		ShadowSamples: card.shadowSamples.Load(),
+	}
+	if sc.Decisions > 0 {
+		sc.CacheHitRate = float64(sc.CacheHits) / float64(sc.Decisions)
+		sc.LowMarginRate = float64(sc.LowMargin) / float64(sc.Decisions)
+	}
+	if sc.ShadowSamples > 0 {
+		sc.ShadowAgreeRate = float64(card.shadowAgree.Load()) / float64(sc.ShadowSamples)
+	}
+	if active {
+		ds := o.drift.Load()
+		sc.DriftStatus = ds.status(o.cfg.AlertPSI).String()
+		sc.DriftScores = driftScores(ds)
+	} else {
+		sc.DriftStatus = card.frozenDriftStatus
+		sc.DriftScores = card.frozenDriftScores
+	}
+	return sc
+}
+
+// Scorecards returns every retained generation's scorecard, newest first.
+func (o *Observatory) Scorecards() []Scorecard {
+	o.mu.Lock()
+	cards := make([]*genCard, 0, len(o.cards))
+	for _, c := range o.cards {
+		cards = append(cards, c)
+	}
+	cur := o.current.Load()
+	o.mu.Unlock()
+	sort.Slice(cards, func(a, b int) bool { return cards[a].gen > cards[b].gen })
+	out := make([]Scorecard, 0, len(cards))
+	for _, c := range cards {
+		out = append(out, o.scorecard(c, cur != nil && c.gen == cur.gen))
+	}
+	return out
+}
+
+// ActiveScorecard returns the current generation's scorecard, or false
+// before any generation was seen.
+func (o *Observatory) ActiveScorecard() (Scorecard, bool) {
+	cur := o.current.Load()
+	if cur == nil {
+		return Scorecard{}, false
+	}
+	return o.scorecard(cur, true), true
+}
+
+// Summary is the /healthz model_health block.
+type Summary struct {
+	DriftStatus   string  `json:"drift_status"`
+	LowMarginRate float64 `json:"low_margin_rate"`
+	Decisions     uint64  `json:"decisions"`
+	FlightRecOccupancy int `json:"flightrecorder_occupancy"`
+	FlightRecCapacity  int `json:"flightrecorder_capacity"`
+}
+
+// Summary builds the /healthz block.
+func (o *Observatory) Summary() Summary {
+	return Summary{
+		DriftStatus:        o.drift.Load().status(o.cfg.AlertPSI).String(),
+		LowMarginRate:      o.lowMarginRate(),
+		Decisions:          o.totalDecisions.Load(),
+		FlightRecOccupancy: o.flight.Occupancy(),
+		FlightRecCapacity:  o.flight.Capacity(),
+	}
+}

@@ -1,0 +1,214 @@
+// Package modelhealth is the model-quality observability layer: it watches
+// every selection off the hot path (the same feeding pattern as pkg/slo)
+// and answers the question pkg/obs cannot — is the *model* still right?
+// It tracks feature drift against the training distribution embedded in
+// the bundle (bundle.FeatureStats), vote-margin confidence telemetry,
+// per-registry-generation scorecards, and an anomaly flight recorder that
+// captures full context for the decisions worth auditing.
+package modelhealth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Sketch is a deterministic, mergeable histogram sketch over a fixed set
+// of bin edges decided at construction. Bin i covers (edges[i-1],
+// edges[i]]; the first bin is open below and the last (index len(edges))
+// open above, so every finite value lands somewhere and the layout matches
+// bundle.FeatureDist exactly. All state is integer counts updated with
+// atomics: observations commute exactly (integer addition), so the final
+// counts — and everything derived from them — are identical for any
+// goroutine interleaving of the same multiset of observations, and Merge
+// is exactly associative and commutative. No floating-point accumulators
+// anywhere, by design.
+type Sketch struct {
+	edges  []float64
+	counts []atomic.Uint64
+	total  atomic.Uint64
+}
+
+// NewSketch builds a sketch over the given interior cut points, which must
+// be non-empty, finite, and strictly ascending.
+func NewSketch(edges []float64) (*Sketch, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("sketch: need at least one bin edge")
+	}
+	for i, e := range edges {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil, fmt.Errorf("sketch: edge %d is not finite", i)
+		}
+		if i > 0 && e <= edges[i-1] {
+			return nil, fmt.Errorf("sketch: edges not strictly ascending at %d", i)
+		}
+	}
+	return &Sketch{
+		edges:  append([]float64(nil), edges...),
+		counts: make([]atomic.Uint64, len(edges)+1),
+	}, nil
+}
+
+// MustSketch is NewSketch for statically known edge sets; it panics on
+// invalid edges.
+func MustSketch(edges []float64) *Sketch {
+	s, err := NewSketch(edges)
+	if err != nil {
+		panic("modelhealth: " + err.Error())
+	}
+	return s
+}
+
+// Buckets returns the number of bins (len(edges)+1).
+func (s *Sketch) Buckets() int { return len(s.counts) }
+
+// Edges returns a copy of the interior cut points.
+func (s *Sketch) Edges() []float64 { return append([]float64(nil), s.edges...) }
+
+// bucketOf is the shared binning rule: index of the first edge >= v, i.e.
+// v <= edges[i] goes to bin i, anything past the last edge (including NaN,
+// which compares false everywhere) to the overflow bin.
+func bucketOf(edges []float64, v float64) int {
+	return sort.SearchFloat64s(edges, v)
+}
+
+// Observe adds one observation. Safe for concurrent use; allocation-free.
+func (s *Sketch) Observe(v float64) {
+	s.counts[bucketOf(s.edges, v)].Add(1)
+	s.total.Add(1)
+}
+
+// Total returns the number of observations recorded.
+func (s *Sketch) Total() uint64 { return s.total.Load() }
+
+// Count returns the count of one bin.
+func (s *Sketch) Count(i int) uint64 { return s.counts[i].Load() }
+
+// Counts returns a snapshot of all bin counts. Concurrent observers may
+// land between bin loads; callers needing an exact cut must quiesce first.
+func (s *Sketch) Counts() []uint64 {
+	out := make([]uint64, len(s.counts))
+	for i := range s.counts {
+		out[i] = s.counts[i].Load()
+	}
+	return out
+}
+
+// CountsInto is Counts without the allocation; dst must have Buckets()
+// entries. Returns the total across dst.
+func (s *Sketch) CountsInto(dst []uint64) uint64 {
+	var t uint64
+	for i := range s.counts {
+		dst[i] = s.counts[i].Load()
+		t += dst[i]
+	}
+	return t
+}
+
+// Merge adds o's counts into s. Both sketches must share bit-identical
+// edges. Elementwise integer addition makes merging exactly associative
+// and commutative: any merge tree over the same set of sketches yields
+// identical counts.
+func (s *Sketch) Merge(o *Sketch) error {
+	if len(s.edges) != len(o.edges) {
+		return fmt.Errorf("sketch: merge edge count mismatch (%d vs %d)", len(s.edges), len(o.edges))
+	}
+	for i := range s.edges {
+		if math.Float64bits(s.edges[i]) != math.Float64bits(o.edges[i]) {
+			return fmt.Errorf("sketch: merge edge %d mismatch (%v vs %v)", i, s.edges[i], o.edges[i])
+		}
+	}
+	var added uint64
+	for i := range s.counts {
+		c := o.counts[i].Load()
+		s.counts[i].Add(c)
+		added += c
+	}
+	s.total.Add(added)
+	return nil
+}
+
+// Reset zeroes every bin. Not linearizable against concurrent Observe
+// calls (an in-flight observation may survive or vanish); callers that
+// need exact window boundaries serialize externally, as the drift monitor
+// does.
+func (s *Sketch) Reset() {
+	for i := range s.counts {
+		s.counts[i].Store(0)
+	}
+	s.total.Store(0)
+}
+
+// Quantile returns a point estimate of the q-quantile (q in [0,1]) by
+// locating the bin holding the ceil(q*total)-th observation and linearly
+// interpolating by rank inside it. The open outer bins collapse to their
+// single known edge. Returns 0 on an empty sketch. The true q-quantile of
+// the observed multiset always falls in the same bin as the estimate —
+// the rank-error bound the property tests pin.
+func (s *Sketch) Quantile(q float64) float64 {
+	lo, hi, ok := s.quantileBin(q)
+	if !ok {
+		return 0
+	}
+	return lo + (hi-lo)*0.5
+}
+
+// QuantileBracket returns the [lo,hi] value range of the bin containing
+// the q-quantile, or (0,0) on an empty sketch.
+func (s *Sketch) QuantileBracket(q float64) (float64, float64) {
+	lo, hi, _ := s.quantileBin(q)
+	return lo, hi
+}
+
+func (s *Sketch) quantileBin(q float64) (lo, hi float64, ok bool) {
+	total := s.Total()
+	if total == 0 {
+		return 0, 0, false
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range s.counts {
+		c := s.counts[i].Load()
+		if cum+c >= rank {
+			switch {
+			case i == 0:
+				return s.edges[0], s.edges[0], true
+			case i == len(s.edges):
+				last := s.edges[len(s.edges)-1]
+				return last, last, true
+			default:
+				return s.edges[i-1], s.edges[i], true
+			}
+		}
+		cum += c
+	}
+	last := s.edges[len(s.edges)-1]
+	return last, last, true
+}
+
+// SketchSnapshot is the JSON form of a sketch, used by the debug endpoints
+// and pinned by a golden test.
+type SketchSnapshot struct {
+	Edges  []float64 `json:"edges"`
+	Counts []uint64  `json:"counts"`
+	Total  uint64    `json:"total"`
+}
+
+// Snapshot captures the sketch for serialization.
+func (s *Sketch) Snapshot() SketchSnapshot {
+	counts := s.Counts()
+	var t uint64
+	for _, c := range counts {
+		t += c
+	}
+	return SketchSnapshot{Edges: s.Edges(), Counts: counts, Total: t}
+}

@@ -55,8 +55,9 @@ type Shadow struct {
 	stride   atomic.Uint64 // 0 = disabled; else sample every stride-th offer
 	counter  atomic.Uint64
 
-	candidate atomic.Pointer[Generation]
-	namer     atomic.Pointer[func(collective string, class int) string]
+	candidate  atomic.Pointer[Generation]
+	namer      atomic.Pointer[func(collective string, class int) string]
+	healthSink atomic.Pointer[func(candidateGen uint64, agree bool)]
 
 	queue chan shadowTask
 	done  chan struct{}
@@ -140,6 +141,17 @@ func (s *Shadow) SetNamer(fn func(collective string, class int) string) {
 		return
 	}
 	s.namer.Store(&fn)
+}
+
+// SetHealthSink wires an observer (typically the model-health observatory's
+// RecordShadow) that receives every shadow agreement verdict keyed by the
+// candidate generation. Nil clears it.
+func (s *Shadow) SetHealthSink(fn func(candidateGen uint64, agree bool)) {
+	if fn == nil {
+		s.healthSink.Store(nil)
+		return
+	}
+	s.healthSink.Store(&fn)
 }
 
 func (s *Shadow) name(collective string, class int) string {
@@ -258,6 +270,9 @@ func (s *Shadow) evaluate(t shadowTask) {
 	}
 	candAlgo := s.name(t.collective, pred.Class)
 	agree := candAlgo == t.algorithm
+	if sink := s.healthSink.Load(); sink != nil {
+		(*sink)(t.gen.id, agree)
+	}
 
 	s.mSamples.Inc(t.collective)
 	s.mLatency.Observe(float64(candNS)/1e9, t.collective)

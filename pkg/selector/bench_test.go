@@ -6,7 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
 	"github.com/pml-mpi/pmlmpi/pkg/cache"
+	"github.com/pml-mpi/pmlmpi/pkg/modelhealth"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/slo"
 	"github.com/pml-mpi/pmlmpi/pkg/synth"
@@ -28,6 +30,15 @@ func benchSelector(b *testing.B, trees, depth int, withCache bool) *Selector {
 	bd, err := synth.New(synth.Config{Seed: 51, Collectives: []string{"bench"}, Trees: trees, Depth: depth, Features: 6, Classes: 5})
 	if err != nil {
 		b.Fatal(err)
+	}
+	// A training reference over the workload axes, so benchmarks that wire
+	// the model-health observatory exercise drift sketches too.
+	ref := bundle.FeatureDist{Edges: []float64{4, 64, 1024}, Counts: []uint64{10, 10, 10, 10}}
+	bd.Stats = &bundle.FeatureStats{
+		Source: "bench",
+		Features: map[string]bundle.FeatureDist{
+			"num_nodes": ref, "ppn": ref, "log2_msg_size": ref,
+		},
 	}
 	o := obs.NewForTest()
 	o.Logger.SetLevel(obs.LevelError) // mute per-selection logs in the hot loop
@@ -127,6 +138,10 @@ func BenchmarkSelectInstrumented(b *testing.B) {
 				SelectP99:    time.Millisecond,
 				Availability: 0.999,
 			})
+			s.health = modelhealth.New(s.o.Registry, modelhealth.Config{})
+			if bd, gen := s.src.Active(); bd != nil {
+				s.health.OnSwap(gen, bd)
+			}
 			s.o.Traces.SetSampleRate(rate)
 			ctx := context.Background()
 			path := "cold"

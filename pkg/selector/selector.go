@@ -16,6 +16,7 @@ import (
 	"github.com/pml-mpi/pmlmpi/pkg/bundle"
 	"github.com/pml-mpi/pmlmpi/pkg/cache"
 	"github.com/pml-mpi/pmlmpi/pkg/forest"
+	"github.com/pml-mpi/pmlmpi/pkg/modelhealth"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 )
 
@@ -41,7 +42,15 @@ type Decision struct {
 	Class      int                `json:"class"`
 	Probs      []float64          `json:"probs"`
 	Votes      []int              `json:"votes"`
-	LatencyNS  int64              `json:"latency_ns"`
+	// Margin is the soft-vote confidence: the gap between the top two
+	// entries of Probs (forest.Margin). Identical across evaluator modes
+	// because both produce bit-identical Probs.
+	Margin float64 `json:"margin"`
+	// LowMargin flags a margin below the model-health warn threshold —
+	// the forest nearly tied two algorithms. Always false when no
+	// observatory is configured.
+	LowMargin bool  `json:"low_margin,omitempty"`
+	LatencyNS int64 `json:"latency_ns"`
 	// Generation is the model generation that produced this decision (0
 	// when serving from a static, registry-less source). Because cache keys
 	// are generation-prefixed, a cached decision's generation always
@@ -102,6 +111,12 @@ type Config struct {
 	// flag) so rolling SLO windows track the serving path. The sink must be
 	// cheap and non-blocking; pkg/slo's Tracker qualifies.
 	SLO SLOSink
+	// Health, when non-nil, receives every completed decision (margin,
+	// features, latency) off the response path for drift scoring, margin
+	// telemetry, scorecards, and anomaly capture. A concrete pointer —
+	// not an interface — so escape analysis keeps the stack feature
+	// buffer on the stack and the warm path allocation-free.
+	Health *modelhealth.Observatory
 }
 
 // SLOSink receives per-Select outcomes for rolling SLO evaluation.
@@ -125,6 +140,7 @@ type Selector struct {
 	agg        *analytics.Aggregator
 	shadow     ShadowSink
 	slo        SLOSink
+	health     *modelhealth.Observatory
 
 	batchWorkers  int
 	parallelTrees int
@@ -204,6 +220,7 @@ func NewFromSource(src Source, o *obs.Obs, cfg Config) *Selector {
 		forestEval:    evalMode,
 		shadow:        cfg.Shadow,
 		slo:           cfg.SLO,
+		health:        cfg.Health,
 		agg:           analytics.New(nil),
 		selections: reg.Counter("pmlmpi_selections_total",
 			"Completed algorithm selections.", "collective", "algorithm"),
@@ -226,8 +243,11 @@ func NewFromSource(src Source, o *obs.Obs, cfg Config) *Selector {
 			"Generation swaps observed by the selector."),
 	}
 
-	if b, _ := src.Active(); b != nil {
+	if b, gen := src.Active(); b != nil {
 		s.instrumentBundle(b)
+		if s.health != nil {
+			s.health.OnSwap(gen, b)
+		}
 	}
 	src.Subscribe(func(b *bundle.Bundle, gen uint64) {
 		s.swapsTotal.Inc()
@@ -237,9 +257,19 @@ func NewFromSource(src Source, o *obs.Obs, cfg Config) *Selector {
 			s.o.Logger.Info("decision cache flushed on bundle swap",
 				"generation", gen, "entries_flushed", flushed)
 		}
+		// Rotate generation-scoped model-health state (drift sketches,
+		// scorecard) alongside the cache flush, so the new generation
+		// starts with a clean quality record.
+		if s.health != nil {
+			s.health.OnSwap(gen, b)
+		}
 	})
 	return s
 }
+
+// Health returns the model-health observatory, or nil when none is
+// configured.
+func (s *Selector) Health() *modelhealth.Observatory { return s.health }
 
 // instrumentBundle points the per-bundle gauges at b and wires its forests
 // into the predict-latency histogram. Safe to call while other goroutines
@@ -372,6 +402,10 @@ func (s *Selector) doSelect(ctx context.Context, collective string, features map
 		e.sel.Inc()
 		e.lat.Observe(elapsed.Seconds())
 		e.cell.Record(elapsed.Seconds(), true)
+		if s.health != nil {
+			s.health.RecordDecision(gen, collective, d.Algorithm,
+				c.Features, x, d.Margin, true, d.LatencyNS)
+		}
 		s.ring.add(d)
 		// The warm path must not be dark: when head sampling picks this
 		// request, retain a single-span trace. SampleLeaf is one atomic
@@ -472,6 +506,7 @@ func (s *Selector) selectTraced(ctx context.Context, b *bundle.Bundle, gen uint6
 	s.duration.Observe(elapsed.Seconds(), collective, PathCold)
 	s.agg.Record(collective, algo, elapsed.Seconds(), false)
 
+	margin := forest.Margin(pred.Probs)
 	d := Decision{
 		Time:       start,
 		RequestID:  reqID,
@@ -481,8 +516,14 @@ func (s *Selector) selectTraced(ctx context.Context, b *bundle.Bundle, gen uint6
 		Class:      pred.Class,
 		Probs:      pred.Probs,
 		Votes:      pred.Votes,
+		Margin:     margin,
 		LatencyNS:  elapsed.Nanoseconds(),
 		Generation: gen,
+	}
+	if s.health != nil {
+		d.LowMargin = margin < s.health.MarginWarn()
+		s.health.RecordDecision(gen, collective, algo,
+			c.Features, x, margin, false, d.LatencyNS)
 	}
 	s.ring.add(d)
 

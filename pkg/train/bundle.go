@@ -76,6 +76,13 @@ func TrainBundle(ds *dataset.Dataset, cfg BundleConfig) (*bundle.Bundle, []Repor
 		TrainedOn:   cfg.TrainedOn,
 		Collectives: make(map[string]*bundle.Collective, len(collectives)),
 	}
+	// Embed the training distribution so the serving side can score live
+	// feature drift against it (bundle.FeatureStats, optional metadata).
+	stats, err := ComputeFeatureStats(ds, DefaultStatsBins)
+	if err != nil {
+		return nil, nil, fmt.Errorf("train: %w", err)
+	}
+	b.Stats = stats
 	var reports []Report
 	for op, name := range collectives {
 		examples := byColl[name]
