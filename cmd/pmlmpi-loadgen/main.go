@@ -37,16 +37,17 @@ func main() {
 		out      = flag.String("out", "BENCH_loadgen.json", "report destination (written atomically; \"-\" = stdout only)")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
 		dumpSpec = flag.Bool("print-spec", false, "print the effective workload spec as JSON and exit")
+		fbFrac   = flag.Float64("feedback-fraction", 0, "fraction of requests that also POST an oracle-labeled record to /v1/feedback (0 disables; never perturbs the request sequence)")
 	)
 	flag.Parse()
 
-	if err := run(*target, *qps, *duration, *warmup, *workers, *seed, *specPath, *out, *timeout, *dumpSpec); err != nil {
+	if err := run(*target, *qps, *duration, *warmup, *workers, *seed, *specPath, *out, *timeout, *dumpSpec, *fbFrac); err != nil {
 		fmt.Fprintln(os.Stderr, "pmlmpi-loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(target string, qps float64, duration, warmup time.Duration, workers int, seed int64, specPath, out string, timeout time.Duration, dumpSpec bool) error {
+func run(target string, qps float64, duration, warmup time.Duration, workers int, seed int64, specPath, out string, timeout time.Duration, dumpSpec bool, fbFrac float64) error {
 	spec := loadgen.DefaultSpec()
 	if specPath != "" {
 		var err error
@@ -64,14 +65,15 @@ func run(target string, qps float64, duration, warmup time.Duration, workers int
 	fmt.Fprintf(os.Stderr, "pmlmpi-loadgen %s: %s @ %.0f qps for %s (warmup %s), spec %s, seed %d\n",
 		buildinfo.Resolve(), target, qps, duration, warmup, spec.Name, seed)
 	rep, err := loadgen.Run(ctx, loadgen.Options{
-		BaseURL:  target,
-		Spec:     &spec,
-		Seed:     seed,
-		QPS:      qps,
-		Duration: duration,
-		Warmup:   warmup,
-		Workers:  workers,
-		Timeout:  timeout,
+		BaseURL:          target,
+		Spec:             &spec,
+		Seed:             seed,
+		QPS:              qps,
+		Duration:         duration,
+		Warmup:           warmup,
+		Workers:          workers,
+		Timeout:          timeout,
+		FeedbackFraction: fbFrac,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -86,6 +88,11 @@ func run(target string, qps float64, duration, warmup time.Duration, workers int
 		rep.Client.Latency.P50US, rep.Client.Latency.P99US,
 		rep.Delta.SelectLatency.P50US, rep.Delta.SelectLatency.P99US,
 		rep.Delta.CacheHitRate)
+	if fb := rep.Feedback; fb != nil {
+		fmt.Fprintf(os.Stderr,
+			"feedback: %d flagged, %d posted (%d accepted, %d duplicate, %d quarantined, %d invalid), %d errors\n",
+			fb.Flagged, fb.Posted, fb.Accepted, fb.Duplicates, fb.Quarantined, fb.Invalid, fb.Errors)
+	}
 
 	if out == "-" {
 		return writeJSON(os.Stdout, rep)

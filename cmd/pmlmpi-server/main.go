@@ -4,7 +4,9 @@
 // /debug/decisions, /debug/traces, /debug/analytics, /debug/shadow,
 // optional /debug/pprof, /v1/select, /v1/registry). Bundles can be
 // hot-swapped at runtime via the registry endpoints or the -bundle-watch
-// poller, with optional shadow evaluation of staged candidates.
+// poller, with optional shadow evaluation of staged candidates. With
+// -feedback-dir set, /v1/feedback ingests observed latencies and the
+// retrain controller (/debug/retrain) closes the self-tuning loop.
 package main
 
 import (
@@ -22,9 +24,11 @@ import (
 	"github.com/pml-mpi/pmlmpi/pkg/admin"
 	"github.com/pml-mpi/pmlmpi/pkg/buildinfo"
 	"github.com/pml-mpi/pmlmpi/pkg/cache"
+	"github.com/pml-mpi/pmlmpi/pkg/feedback"
 	"github.com/pml-mpi/pmlmpi/pkg/modelhealth"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
+	"github.com/pml-mpi/pmlmpi/pkg/retrain"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
 	"github.com/pml-mpi/pmlmpi/pkg/slo"
 )
@@ -55,6 +59,12 @@ type options struct {
 	driftAlertPSI float64
 	marginWarn    float64
 	flightrecSize int
+
+	feedbackDir         string
+	retrainInterval     time.Duration
+	retrainMinRecords   int
+	retrainDriftWindows int
+	promotePolicy       string
 
 	traceSampleRate float64
 	traceCapacity   int
@@ -93,6 +103,12 @@ func main() {
 		marginWarn    = flag.Float64("margin-warn", modelhealth.DefaultMarginWarn, "vote margin below which a decision counts as low-confidence")
 		flightrecSize = flag.Int("flightrec-size", modelhealth.DefaultFlightRecSize, "anomaly flight-recorder capacity in records")
 
+		feedbackDir         = flag.String("feedback-dir", "", "directory for the /v1/feedback JSONL store (empty disables the feedback and retraining surfaces)")
+		retrainInterval     = flag.Duration("retrain-interval", 0, "period of timer-driven retrain cycles (0 disables the timer)")
+		retrainMinRecords   = flag.Int("retrain-min-records", retrain.DefaultMinRecords, "fewest resident feedback records worth retraining on")
+		retrainDriftWindows = flag.Int("retrain-drift-windows", 0, "completed drift windows at ALERT that trigger a retrain cycle (0 disables the drift trigger)")
+		promotePolicy       = flag.String("promote-policy", retrain.PolicyAuto, "what happens to a winning candidate: auto (promote) or manual (stage only)")
+
 		traceSampleRate = flag.Float64("trace-sample-rate", 0.01, "head-based trace sampling fraction in [0,1] (0 disables tracing)")
 		traceCapacity   = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "sampled traces retained for /debug/traces")
 		pprofFlag       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -127,6 +143,12 @@ func main() {
 		driftAlertPSI: *driftAlertPSI,
 		marginWarn:    *marginWarn,
 		flightrecSize: *flightrecSize,
+
+		feedbackDir:         *feedbackDir,
+		retrainInterval:     *retrainInterval,
+		retrainMinRecords:   *retrainMinRecords,
+		retrainDriftWindows: *retrainDriftWindows,
+		promotePolicy:       *promotePolicy,
 
 		traceSampleRate: *traceSampleRate,
 		traceCapacity:   *traceCapacity,
@@ -225,6 +247,43 @@ func run(o *obs.Obs, opts options) error {
 		go registry.NewWatcher(reg, o, opts.bundlePath, opts.watchInterval).Run(ctx)
 	}
 
+	// Self-tuning loop: the feedback store ingests /v1/feedback into an
+	// append-only JSONL log behind the oracle plausibility guard, and the
+	// retrain controller turns accumulated records into judged candidate
+	// generations on interval ticks or sustained drift ALERT.
+	var (
+		store *feedback.Store
+		ctrl  *retrain.Controller
+	)
+	if opts.feedbackDir != "" {
+		if !retrain.ValidPolicy(opts.promotePolicy) {
+			return fmt.Errorf("unknown -promote-policy %q (want %s or %s)",
+				opts.promotePolicy, retrain.PolicyAuto, retrain.PolicyManual)
+		}
+		store, err = feedback.NewStore(o.Registry, feedback.Config{Dir: opts.feedbackDir})
+		if err != nil {
+			return fmt.Errorf("open feedback store: %w", err)
+		}
+		defer store.Close()
+		ctrl, err = retrain.New(o, retrain.Config{
+			Interval:      opts.retrainInterval,
+			MinRecords:    opts.retrainMinRecords,
+			DriftWindows:  opts.retrainDriftWindows,
+			PromotePolicy: opts.promotePolicy,
+		}, retrain.Deps{Store: store, Registry: reg, Shadow: shadow, Health: health})
+		if err != nil {
+			return fmt.Errorf("retrain controller: %w", err)
+		}
+		ctrl.Start()
+		o.Logger.Info("feedback loop enabled",
+			"dir", opts.feedbackDir,
+			"resident", store.Resident(),
+			"retrain_interval", opts.retrainInterval.String(),
+			"min_records", opts.retrainMinRecords,
+			"drift_windows", opts.retrainDriftWindows,
+			"promote_policy", opts.promotePolicy)
+	}
+
 	srv := &http.Server{
 		Addr: opts.addr,
 		Handler: admin.New(sel, o, admin.Config{
@@ -233,6 +292,8 @@ func run(o *obs.Obs, opts options) error {
 			Shadow:   shadow,
 			SLO:      tracker,
 			Health:   health,
+			Feedback: store,
+			Retrain:  ctrl,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -265,6 +326,9 @@ func run(o *obs.Obs, opts options) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.shutdownTimeout)
 	defer cancel()
 	shutdownErr := srv.Shutdown(shutdownCtx)
+	if ctrl != nil {
+		ctrl.Stop() // before the shadow: a judging cycle may be waiting on it
+	}
 	shadow.Stop()
 	// Last chance to see what the anomaly flight recorder caught: once the
 	// process exits the in-memory ring is gone, so dump it to the log.

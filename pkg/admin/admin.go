@@ -9,15 +9,18 @@ package admin
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/buildinfo"
+	"github.com/pml-mpi/pmlmpi/pkg/feedback"
 	"github.com/pml-mpi/pmlmpi/pkg/modelhealth"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
+	"github.com/pml-mpi/pmlmpi/pkg/retrain"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
 	"github.com/pml-mpi/pmlmpi/pkg/slo"
 )
@@ -45,6 +48,14 @@ type Config struct {
 	// model_health block to /healthz, and refreshes the pmlmpi_drift_* /
 	// pmlmpi_margin_* gauges on every /metrics scrape.
 	Health *modelhealth.Observatory
+	// Feedback, when non-nil, mounts POST /v1/feedback: observed
+	// per-algorithm latencies stream into the append-only feedback store
+	// (validated, oracle-guarded, deduped) for the retrain loop.
+	Feedback *feedback.Store
+	// Retrain, when non-nil, mounts /debug/retrain with the controller's
+	// state machine and verdict history, and adds a retrain block to
+	// /healthz.
+	Retrain *retrain.Controller
 }
 
 // Route describes one registered endpoint: its path and the single method
@@ -57,15 +68,17 @@ type Route struct {
 
 // Server is the admin HTTP handler.
 type Server struct {
-	sel     *selector.Selector
-	o       *obs.Obs
-	reg     *registry.Registry
-	shadow  *registry.Shadow
-	slo     *slo.Tracker
-	health  *modelhealth.Observatory
-	started time.Time
-	mux     *http.ServeMux
-	routes  []Route
+	sel      *selector.Selector
+	o        *obs.Obs
+	reg      *registry.Registry
+	shadow   *registry.Shadow
+	slo      *slo.Tracker
+	health   *modelhealth.Observatory
+	feedback *feedback.Store
+	retrain  *retrain.Controller
+	started  time.Time
+	mux      *http.ServeMux
+	routes   []Route
 
 	httpRequests *obs.Counter
 	httpLatency  *obs.Histogram
@@ -74,14 +87,16 @@ type Server struct {
 // New builds the admin surface for a selector.
 func New(sel *selector.Selector, o *obs.Obs, cfg Config) *Server {
 	s := &Server{
-		sel:     sel,
-		o:       o,
-		reg:     cfg.Registry,
-		shadow:  cfg.Shadow,
-		slo:     cfg.SLO,
-		health:  cfg.Health,
-		started: time.Now(),
-		mux:     http.NewServeMux(),
+		sel:      sel,
+		o:        o,
+		reg:      cfg.Registry,
+		shadow:   cfg.Shadow,
+		slo:      cfg.SLO,
+		health:   cfg.Health,
+		feedback: cfg.Feedback,
+		retrain:  cfg.Retrain,
+		started:  time.Now(),
+		mux:      http.NewServeMux(),
 		httpRequests: o.Registry.Counter("pmlmpi_http_requests_total",
 			"HTTP requests served, by path and status code.", "path", "code"),
 		httpLatency: o.Registry.Histogram("pmlmpi_http_request_duration_seconds",
@@ -111,6 +126,12 @@ func New(sel *selector.Selector, o *obs.Obs, cfg Config) *Server {
 		s.route("/debug/drift", http.MethodGet, "GET returns the feature-drift report", s.handleDrift)
 		s.route("/debug/scorecards", http.MethodGet, "GET returns per-generation model scorecards", s.handleScorecards)
 		s.route("/debug/flightrecorder", http.MethodGet, "GET dumps the anomaly flight recorder", s.handleFlightRecorder)
+	}
+	if cfg.Feedback != nil {
+		s.route("/v1/feedback", http.MethodPost, "POST a JSON body: one record ({\"collective\": ..., \"features\": {...}, \"latency_us\": {...}}) or a batch under \"records\"", s.handleFeedback)
+	}
+	if cfg.Retrain != nil {
+		s.route("/debug/retrain", http.MethodGet, "GET returns the retrain controller state and verdict history", s.handleRetrain)
 	}
 	if cfg.Pprof {
 		// Mounted bare, without the instrument wrapper: statusRecorder does
@@ -226,6 +247,7 @@ type Health struct {
 	TrainedOn     []string                    `json:"trained_on,omitempty"`
 	Collectives   map[string]healthCollective `json:"collectives,omitempty"`
 	ModelHealth   *modelhealth.Summary        `json:"model_health,omitempty"`
+	Retrain       *retrain.Summary            `json:"retrain,omitempty"`
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 }
 
@@ -242,6 +264,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.health != nil {
 		sum := s.health.Summary()
 		h.ModelHealth = &sum
+	}
+	if s.retrain != nil {
+		sum := s.retrain.Summarize()
+		h.Retrain = &sum
 	}
 	b := s.sel.Bundle()
 	if b == nil {
@@ -554,6 +580,80 @@ func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
 		"count":     len(records),
 		"records":   records,
 	})
+}
+
+// MaxFeedbackRecords bounds one /v1/feedback batch.
+const MaxFeedbackRecords = 1024
+
+// feedbackItemResponse is one entry of the /v1/feedback response's
+// positional "results" array.
+type feedbackItemResponse struct {
+	Outcome feedback.Outcome `json:"outcome"`
+	Error   string           `json:"error,omitempty"`
+}
+
+// feedbackResponse is the /v1/feedback response body. Per-record outcomes
+// (duplicate, quarantined, invalid) are reported inline with HTTP 200;
+// only a malformed envelope gets a 4xx.
+type feedbackResponse struct {
+	Count       int                    `json:"count"`
+	Accepted    int                    `json:"accepted"`
+	Duplicates  int                    `json:"duplicates"`
+	Quarantined int                    `json:"quarantined"`
+	Invalid     int                    `json:"invalid"`
+	Results     []feedbackItemResponse `json:"results"`
+}
+
+// handleFeedback ingests observed per-algorithm latencies into the
+// feedback store: parse the envelope strictly, then run every record
+// through validation, the oracle plausibility guard, and dedup.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	body, err := readAll(w, r, 8<<20)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	records, err := feedback.ParseRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(records) > MaxFeedbackRecords {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d records exceeds the limit of %d", len(records), MaxFeedbackRecords))
+		return
+	}
+	resp := feedbackResponse{Count: len(records), Results: make([]feedbackItemResponse, len(records))}
+	for i := range records {
+		out, err := s.feedback.Add(&records[i])
+		item := feedbackItemResponse{Outcome: out}
+		if err != nil {
+			item.Error = err.Error()
+		}
+		resp.Results[i] = item
+		switch out {
+		case feedback.OutcomeAccepted:
+			resp.Accepted++
+		case feedback.OutcomeDuplicate:
+			resp.Duplicates++
+		case feedback.OutcomeQuarantined:
+			resp.Quarantined++
+		default:
+			resp.Invalid++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRetrain serves the retrain controller's state machine, feedback
+// snapshot, and verdict history (newest first).
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.retrain.Report())
+}
+
+// readAll drains a size-capped request body.
+func readAll(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

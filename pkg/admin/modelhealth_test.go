@@ -12,9 +12,11 @@ import (
 
 	"github.com/pml-mpi/pmlmpi/pkg/bundle"
 	"github.com/pml-mpi/pmlmpi/pkg/cache"
+	"github.com/pml-mpi/pmlmpi/pkg/feedback"
 	"github.com/pml-mpi/pmlmpi/pkg/modelhealth"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
+	"github.com/pml-mpi/pmlmpi/pkg/retrain"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
 	"github.com/pml-mpi/pmlmpi/pkg/slo"
 )
@@ -301,7 +303,16 @@ func TestMetricsFamilyInventoryGolden(t *testing.T) {
 	})
 	shadow.SetNamer(sel.AlgorithmName)
 	shadow.SetHealthSink(health.RecordShadow)
-	New(sel, o, Config{Registry: r, SLO: tracker, Health: health})
+	store, err := feedback.NewStore(o.Registry, feedback.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ctrl, err := retrain.New(o, retrain.Config{}, retrain.Deps{Store: store, Registry: r, Shadow: shadow, Health: health})
+	if err != nil {
+		t.Fatal(err)
+	}
+	New(sel, o, Config{Registry: r, SLO: tracker, Health: health, Feedback: store, Retrain: ctrl})
 
 	got := o.Registry.FamilyNames()
 	if !reflect.DeepEqual(got, inventoryGolden) {
@@ -328,6 +339,9 @@ var inventoryGolden = []string{
 	"pmlmpi_drift_reference_loaded",
 	"pmlmpi_drift_status",
 	"pmlmpi_drift_windows_completed",
+	"pmlmpi_feedback_records_resident",
+	"pmlmpi_feedback_records_total",
+	"pmlmpi_feedback_segments",
 	"pmlmpi_flightrec_capacity",
 	"pmlmpi_flightrec_occupancy",
 	"pmlmpi_flightrec_records_total",
@@ -343,6 +357,10 @@ var inventoryGolden = []string{
 	"pmlmpi_registry_loads_total",
 	"pmlmpi_registry_promotions_total",
 	"pmlmpi_registry_rollbacks_total",
+	"pmlmpi_retrain_candidate_generation",
+	"pmlmpi_retrain_cycles_total",
+	"pmlmpi_retrain_drift_alert_streak",
+	"pmlmpi_retrain_state",
 	"pmlmpi_select_duration_seconds",
 	"pmlmpi_selection_errors_total",
 	"pmlmpi_selections_total",

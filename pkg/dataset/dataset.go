@@ -13,7 +13,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"strings"
 
 	"github.com/pml-mpi/pmlmpi/pkg/bundle"
 )
@@ -155,29 +154,10 @@ func (d *Dataset) labelFromLatencies(collective string, lat map[string]float64) 
 // add validates and appends one example built from raw record fields.
 // algorithm may be empty when latencies determine the label.
 func (d *Dataset) add(collective string, features map[string]float64, algorithm string, latencies map[string]float64) error {
-	if collective == "" {
-		return fmt.Errorf("missing collective")
-	}
-	if err := validateFeatures(features); err != nil {
+	rec := Record{Collective: collective, Features: features, Algorithm: algorithm, LatenciesUS: latencies}
+	cls, name, err := ValidateRecord(d.Algorithms, &rec)
+	if err != nil {
 		return err
-	}
-	var cls int
-	var name string
-	switch {
-	case algorithm != "":
-		c, err := d.classOf(collective, algorithm)
-		if err != nil {
-			return err
-		}
-		cls, name = c, algorithm
-	case len(latencies) > 0:
-		c, n, err := d.labelFromLatencies(collective, latencies)
-		if err != nil {
-			return err
-		}
-		cls, name = c, n
-	default:
-		return fmt.Errorf("record has neither an algorithm label nor latencies")
 	}
 	d.Examples = append(d.Examples, Example{
 		Collective: collective,
@@ -191,17 +171,7 @@ func (d *Dataset) add(collective string, features map[string]float64, algorithm 
 // key derives the deduplication identity of an example: the collective
 // plus every feature printed at full float precision in sorted name order.
 func key(ex *Example) string {
-	names := make([]string, 0, len(ex.Features))
-	for n := range ex.Features {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	b.WriteString(ex.Collective)
-	for _, n := range names {
-		fmt.Fprintf(&b, "|%s=%x", n, math.Float64bits(ex.Features[n]))
-	}
-	return b.String()
+	return Key(ex.Collective, ex.Features)
 }
 
 // Dedup removes examples whose (collective, features) identity repeats,

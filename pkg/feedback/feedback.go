@@ -1,0 +1,497 @@
+// Package feedback ingests observed per-algorithm latencies from live
+// deployments into an append-only JSONL dataset store that the retrain
+// controller blends into future training sets. Every record is validated
+// against the canonical feature schema (pkg/dataset) and checked for
+// plausibility against the pkg/perfmodel analytical oracle: a record whose
+// observed argmin algorithm costs more than a configurable multiple of the
+// oracle's best is quarantined, never trained on — the data-poisoning
+// defense. Accepted records are deduplicated on their bit-exact feature
+// identity, written with fsync into rotating segments, recovered
+// crash-safely on startup, and bounded by a segment retention cap.
+package feedback
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+
+	"github.com/pml-mpi/pmlmpi/pkg/dataset"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/perfmodel"
+)
+
+// Outcome classifies what happened to one submitted record.
+type Outcome string
+
+const (
+	// OutcomeAccepted: validated, plausible, novel — appended to the store.
+	OutcomeAccepted Outcome = "accepted"
+	// OutcomeDuplicate: a record for this exact feature point is already
+	// resident; the submission was dropped.
+	OutcomeDuplicate Outcome = "duplicate"
+	// OutcomeQuarantined: well-formed but implausible against the
+	// analytical oracle; appended to the quarantine file for audit, never
+	// to the training segments.
+	OutcomeQuarantined Outcome = "quarantined"
+	// OutcomeInvalid: failed schema validation; dropped.
+	OutcomeInvalid Outcome = "invalid"
+)
+
+// Config tunes a Store. Zero values take the documented defaults.
+type Config struct {
+	// Dir is the segment directory (required).
+	Dir string
+	// Algorithms is the collective → class-ordered algorithm table records
+	// are validated against. Default perfmodel.Table().
+	Algorithms map[string][]string
+	// MaxCostRatio is the plausibility guardrail: a record is quarantined
+	// when the analytical cost of its observed argmin algorithm exceeds
+	// MaxCostRatio times the analytical minimum for that feature point.
+	// Default 3.0; values <= 1 disable the guard entirely (every cost
+	// ratio is >= 1, so nothing could ever pass — treat as "off").
+	MaxCostRatio float64
+	// SegmentMaxRecords rotates the active segment after this many
+	// records. Default 4096.
+	SegmentMaxRecords int
+	// MaxSegments bounds retention: when rotation would exceed it, the
+	// oldest segment (and its dedup keys) is dropped. Default 8.
+	MaxSegments int
+	// Oracle computes per-class analytical costs for the plausibility
+	// guard. Default perfmodel.Costs. An oracle error (e.g. a collective
+	// the analytical models don't cover) skips the guard for that record.
+	Oracle func(collective string, features map[string]float64) ([]float64, error)
+}
+
+// Config defaults, exported so flag declarations can echo them.
+const (
+	DefaultMaxCostRatio      = 3.0
+	DefaultSegmentMaxRecords = 4096
+	DefaultMaxSegments       = 8
+)
+
+func (c Config) withDefaults() Config {
+	if c.Algorithms == nil {
+		c.Algorithms = perfmodel.Table()
+	}
+	if c.MaxCostRatio == 0 {
+		c.MaxCostRatio = DefaultMaxCostRatio
+	}
+	if c.SegmentMaxRecords <= 0 {
+		c.SegmentMaxRecords = DefaultSegmentMaxRecords
+	}
+	if c.MaxSegments <= 0 {
+		c.MaxSegments = DefaultMaxSegments
+	}
+	if c.Oracle == nil {
+		c.Oracle = perfmodel.Costs
+	}
+	return c
+}
+
+// segment is one resident JSONL segment file.
+type segment struct {
+	index   int
+	path    string
+	records int
+}
+
+var segmentNameRe = regexp.MustCompile(`^segment-(\d{6})\.jsonl$`)
+
+func segmentPath(dir string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("segment-%06d.jsonl", index))
+}
+
+// quarantineRecord is one line of the quarantine audit file: the rejected
+// record plus why the guard refused it.
+type quarantineRecord struct {
+	Reason string          `json:"reason"`
+	Record *dataset.Record `json:"record"`
+}
+
+// Store is the append-only feedback dataset store. Safe for concurrent
+// use; Add never touches the Select hot path.
+type Store struct {
+	cfg Config
+
+	mu       sync.Mutex
+	segments []segment
+	active   *dataset.AppendJSONL
+	keys     map[string]int // dedup identity → segment index
+	qfile    *os.File
+	qcount   int
+
+	accepted    uint64
+	duplicates  uint64
+	quarantined uint64
+	invalid     uint64
+
+	cRecords  *obs.Counter
+	gResident *obs.Gauge
+	gSegments *obs.Gauge
+}
+
+// NewStore opens (creating if needed) a feedback store rooted at cfg.Dir
+// and registers its pmlmpi_feedback_* instruments. Existing segments are
+// recovered: torn tails are truncated, records recounted, and the dedup
+// index rebuilt, so a crash between fsyncs loses at most the torn record.
+func NewStore(reg *obs.Registry, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("feedback: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feedback: %w", err)
+	}
+	s := &Store{
+		cfg:  cfg,
+		keys: make(map[string]int),
+		cRecords: reg.Counter("pmlmpi_feedback_records_total",
+			"Feedback records submitted, by outcome.", "outcome"),
+		gResident: reg.Gauge("pmlmpi_feedback_records_resident",
+			"Accepted feedback records currently resident in the store."),
+		gSegments: reg.Gauge("pmlmpi_feedback_segments",
+			"Feedback segment files currently resident."),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	qpath := filepath.Join(cfg.Dir, "quarantine.jsonl")
+	s.qcount = countCompleteLines(qpath)
+	qf, err := os.OpenFile(qpath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: %w", err)
+	}
+	s.qfile = qf
+	s.refreshGauges()
+	return s, nil
+}
+
+// recover scans Dir for segment files, repairs and indexes each, and opens
+// the newest as the active append target (creating segment-000001 in an
+// empty directory).
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("feedback: %w", err)
+	}
+	var indices []int
+	for _, e := range entries {
+		if m := segmentNameRe.FindStringSubmatch(e.Name()); m != nil {
+			var idx int
+			fmt.Sscanf(m[1], "%d", &idx)
+			indices = append(indices, idx)
+		}
+	}
+	sort.Ints(indices)
+	if len(indices) == 0 {
+		indices = []int{1}
+	}
+	for _, idx := range indices {
+		path := segmentPath(s.cfg.Dir, idx)
+		// OpenAppendJSONL repairs a torn tail and validates + counts every
+		// complete record; older segments are only ever opened to repair
+		// and count, then closed again.
+		w, err := dataset.OpenAppendJSONL(path, s.cfg.Algorithms)
+		if err != nil {
+			return fmt.Errorf("feedback: segment %s: %w", path, err)
+		}
+		n := w.Records()
+		if idx == indices[len(indices)-1] {
+			s.active = w
+		} else if err := w.Close(); err != nil {
+			return fmt.Errorf("feedback: segment %s: %w", path, err)
+		}
+		s.segments = append(s.segments, segment{index: idx, path: path, records: n})
+		if n > 0 {
+			ds, err := dataset.ReadFile(path, s.cfg.Algorithms)
+			if err != nil {
+				return fmt.Errorf("feedback: segment %s: %w", path, err)
+			}
+			for i := range ds.Examples {
+				ex := &ds.Examples[i]
+				s.keys[dataset.Key(ex.Collective, ex.Features)] = idx
+			}
+		}
+	}
+	return nil
+}
+
+// countCompleteLines counts newline-terminated lines; a missing file is 0.
+func countCompleteLines(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, b := range data {
+		if b == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// Add validates one record and routes it to the training segments, the
+// quarantine file, or the floor. The returned error carries detail for
+// invalid and quarantined outcomes (nil for accepted/duplicate); storage
+// I/O failures surface as OutcomeInvalid with the underlying error.
+func (s *Store) Add(rec *dataset.Record) (Outcome, error) {
+	_, algorithm, err := dataset.ValidateRecord(s.cfg.Algorithms, rec)
+	if err == nil && len(rec.LatenciesUS) == 0 {
+		// Feedback is measurements, not assertions: an explicit algorithm
+		// label with no latencies carries no evidence worth training on.
+		err = fmt.Errorf("feedback records must carry latency_us measurements")
+	}
+	if err != nil {
+		s.count(OutcomeInvalid)
+		return OutcomeInvalid, err
+	}
+
+	if reason := s.implausible(rec, algorithm); reason != "" {
+		s.mu.Lock()
+		qerr := s.quarantineLocked(rec, reason)
+		s.mu.Unlock()
+		s.count(OutcomeQuarantined)
+		if qerr != nil {
+			return OutcomeQuarantined, qerr
+		}
+		return OutcomeQuarantined, fmt.Errorf("%s", reason)
+	}
+
+	key := dataset.Key(rec.Collective, rec.Features)
+	s.mu.Lock()
+	if _, dup := s.keys[key]; dup {
+		s.mu.Unlock()
+		s.count(OutcomeDuplicate)
+		return OutcomeDuplicate, nil
+	}
+	if err := s.appendLocked(rec, key); err != nil {
+		s.mu.Unlock()
+		s.count(OutcomeInvalid)
+		return OutcomeInvalid, err
+	}
+	s.mu.Unlock()
+	s.count(OutcomeAccepted)
+	s.refreshGauges()
+	return OutcomeAccepted, nil
+}
+
+// implausible applies the oracle guard; a non-empty return is the
+// quarantine reason.
+func (s *Store) implausible(rec *dataset.Record, algorithm string) string {
+	if s.cfg.MaxCostRatio <= 1 {
+		return ""
+	}
+	costs, err := s.cfg.Oracle(rec.Collective, rec.Features)
+	if err != nil || len(costs) == 0 {
+		return "" // no analytical coverage — guard abstains
+	}
+	algos := s.cfg.Algorithms[rec.Collective]
+	cls := -1
+	for i, n := range algos {
+		if n == algorithm && i < len(costs) {
+			cls = i
+			break
+		}
+	}
+	if cls < 0 {
+		return ""
+	}
+	min := costs[0]
+	for _, c := range costs[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	if min <= 0 {
+		return ""
+	}
+	ratio := costs[cls] / min
+	if ratio > s.cfg.MaxCostRatio {
+		return fmt.Sprintf("implausible winner %q: analytical cost is %.2fx the oracle best (limit %.2fx)",
+			algorithm, ratio, s.cfg.MaxCostRatio)
+	}
+	return ""
+}
+
+// appendLocked writes one accepted record to the active segment, rotating
+// and enforcing retention as needed. Caller holds s.mu.
+func (s *Store) appendLocked(rec *dataset.Record, key string) error {
+	if s.active == nil {
+		return fmt.Errorf("feedback: store is closed")
+	}
+	cur := &s.segments[len(s.segments)-1]
+	if cur.records >= s.cfg.SegmentMaxRecords {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+		cur = &s.segments[len(s.segments)-1]
+	}
+	if err := s.active.Append(rec); err != nil {
+		return err
+	}
+	cur.records++
+	s.keys[key] = cur.index
+	return nil
+}
+
+// rotateLocked closes the active segment, opens the next one, and drops
+// the oldest segments (with their dedup keys) beyond the retention cap.
+func (s *Store) rotateLocked() error {
+	if err := s.active.Close(); err != nil {
+		return err
+	}
+	next := s.segments[len(s.segments)-1].index + 1
+	w, err := dataset.OpenAppendJSONL(segmentPath(s.cfg.Dir, next), s.cfg.Algorithms)
+	if err != nil {
+		return err
+	}
+	s.active = w
+	s.segments = append(s.segments, segment{index: next, path: w.Path()})
+	for len(s.segments) > s.cfg.MaxSegments {
+		victim := s.segments[0]
+		s.segments = s.segments[1:]
+		os.Remove(victim.path)
+		for k, idx := range s.keys {
+			if idx == victim.index {
+				delete(s.keys, k)
+			}
+		}
+	}
+	return nil
+}
+
+// quarantineLocked appends one {reason, record} line to the audit file.
+// Caller holds s.mu.
+func (s *Store) quarantineLocked(rec *dataset.Record, reason string) error {
+	if s.qfile == nil {
+		return nil
+	}
+	buf, err := json.Marshal(quarantineRecord{Reason: reason, Record: rec})
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if _, err := s.qfile.Write(buf); err != nil {
+		return err
+	}
+	if err := s.qfile.Sync(); err != nil {
+		return err
+	}
+	s.qcount++
+	return nil
+}
+
+func (s *Store) count(o Outcome) {
+	s.mu.Lock()
+	switch o {
+	case OutcomeAccepted:
+		s.accepted++
+	case OutcomeDuplicate:
+		s.duplicates++
+	case OutcomeQuarantined:
+		s.quarantined++
+	case OutcomeInvalid:
+		s.invalid++
+	}
+	s.mu.Unlock()
+	s.cRecords.Inc(string(o))
+}
+
+func (s *Store) refreshGauges() {
+	s.mu.Lock()
+	resident := len(s.keys)
+	segs := len(s.segments)
+	s.mu.Unlock()
+	s.gResident.Set(float64(resident))
+	s.gSegments.Set(float64(segs))
+}
+
+// Dir returns the store's on-disk directory.
+func (s *Store) Dir() string { return s.cfg.Dir }
+
+// Resident returns how many accepted records are currently resident.
+func (s *Store) Resident() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.keys)
+}
+
+// Dataset reads every resident segment into one validated dataset.
+func (s *Store) Dataset() (*dataset.Dataset, error) {
+	s.mu.Lock()
+	paths := make([]string, len(s.segments))
+	for i, seg := range s.segments {
+		paths[i] = seg.path
+	}
+	s.mu.Unlock()
+	out := dataset.New(s.cfg.Algorithms)
+	for _, p := range paths {
+		if countCompleteLines(p) == 0 {
+			continue
+		}
+		ds, err := dataset.ReadFile(p, s.cfg.Algorithms)
+		if err != nil {
+			return nil, fmt.Errorf("feedback: %w", err)
+		}
+		if err := out.Merge(ds); err != nil {
+			return nil, fmt.Errorf("feedback: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Snapshot is the store's JSON-ready state for /debug/retrain.
+type Snapshot struct {
+	Dir               string `json:"dir"`
+	Accepted          uint64 `json:"accepted"`
+	Duplicates        uint64 `json:"duplicates"`
+	Quarantined       uint64 `json:"quarantined"`
+	Invalid           uint64 `json:"invalid"`
+	Resident          int    `json:"resident"`
+	Segments          int    `json:"segments"`
+	ActiveSegment     string `json:"active_segment"`
+	QuarantineRecords int    `json:"quarantine_records"`
+}
+
+// Snapshot returns current counters and layout.
+func (s *Store) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Dir:               s.cfg.Dir,
+		Accepted:          s.accepted,
+		Duplicates:        s.duplicates,
+		Quarantined:       s.quarantined,
+		Invalid:           s.invalid,
+		Resident:          len(s.keys),
+		Segments:          len(s.segments),
+		QuarantineRecords: s.qcount,
+	}
+	if len(s.segments) > 0 {
+		snap.ActiveSegment = filepath.Base(s.segments[len(s.segments)-1].path)
+	}
+	return snap
+}
+
+// Close syncs and closes the active segment and quarantine file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.active != nil {
+		err = s.active.Close()
+		s.active = nil
+	}
+	if s.qfile != nil {
+		if cerr := s.qfile.Close(); err == nil {
+			err = cerr
+		}
+		s.qfile = nil
+	}
+	return err
+}

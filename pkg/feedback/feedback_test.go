@@ -1,0 +1,211 @@
+package feedback
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/dataset"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/perfmodel"
+)
+
+// oracleRecord builds a record whose latencies are the analytical costs in
+// microseconds, so its argmin agrees with the oracle exactly.
+func oracleRecord(t testing.TB, collective string, nodes, ppn, lm float64) *dataset.Record {
+	t.Helper()
+	f := perfmodel.DefaultSystems[1].Features(nodes, ppn, lm)
+	costs, err := perfmodel.Costs(collective, f)
+	if err != nil {
+		t.Fatalf("oracle costs: %v", err)
+	}
+	algos := perfmodel.Table()[collective]
+	lat := make(map[string]float64, len(algos))
+	for i, name := range algos {
+		lat[name] = costs[i] * 1e6
+	}
+	return &dataset.Record{Collective: collective, Features: f, LatenciesUS: lat}
+}
+
+// poisonedRecord flips the latencies so the oracle's worst algorithm looks
+// fastest — the data-poisoning shape the guard must catch.
+func poisonedRecord(t testing.TB, collective string, nodes, ppn, lm float64) *dataset.Record {
+	t.Helper()
+	rec := oracleRecord(t, collective, nodes, ppn, lm)
+	worst, worstLat := "", 0.0
+	for name, lat := range rec.LatenciesUS {
+		if lat > worstLat {
+			worst, worstLat = name, lat
+		}
+	}
+	rec.LatenciesUS[worst] = 0.001 // absurdly fast for the worst algorithm
+	return rec
+}
+
+func newTestStore(t testing.TB, cfg Config) *Store {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	s, err := NewStore(obs.NewRegistry(), cfg)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreAcceptDedupQuarantine(t *testing.T) {
+	s := newTestStore(t, Config{})
+
+	rec := oracleRecord(t, "broadcast", 4, 8, 12)
+	if out, err := s.Add(rec); out != OutcomeAccepted || err != nil {
+		t.Fatalf("first add: outcome %s err %v", out, err)
+	}
+	if out, _ := s.Add(oracleRecord(t, "broadcast", 4, 8, 12)); out != OutcomeDuplicate {
+		t.Fatalf("repeat add: outcome %s, want duplicate", out)
+	}
+
+	poison := poisonedRecord(t, "broadcast", 16, 16, 10)
+	out, err := s.Add(poison)
+	if out != OutcomeQuarantined {
+		t.Fatalf("poisoned add: outcome %s, want quarantined", out)
+	}
+	if err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("quarantine reason missing: %v", err)
+	}
+
+	bad := &dataset.Record{Collective: "broadcast", Features: map[string]float64{"bogus": 1},
+		LatenciesUS: map[string]float64{"binomial_tree": 1}}
+	if out, err := s.Add(bad); out != OutcomeInvalid || err == nil {
+		t.Fatalf("invalid add: outcome %s err %v", out, err)
+	}
+	noLat := oracleRecord(t, "broadcast", 2, 2, 8)
+	noLat.LatenciesUS = nil
+	noLat.Algorithm = "pipeline"
+	if out, _ := s.Add(noLat); out != OutcomeInvalid {
+		t.Fatalf("latency-free add: outcome %s, want invalid", out)
+	}
+
+	snap := s.Snapshot()
+	if snap.Accepted != 1 || snap.Duplicates != 1 || snap.Quarantined != 1 || snap.Invalid != 2 {
+		t.Fatalf("snapshot counters = %+v", snap)
+	}
+	if snap.Resident != 1 || snap.QuarantineRecords != 1 {
+		t.Fatalf("snapshot residency = %+v", snap)
+	}
+
+	// The quarantined record must not be in the training dataset.
+	ds, err := s.Dataset()
+	if err != nil {
+		t.Fatalf("Dataset: %v", err)
+	}
+	if ds.Len() != 1 {
+		t.Fatalf("dataset has %d examples, want 1 (quarantined record leaked?)", ds.Len())
+	}
+	poisonKey := dataset.Key(poison.Collective, poison.Features)
+	for i := range ds.Examples {
+		if dataset.Key(ds.Examples[i].Collective, ds.Examples[i].Features) == poisonKey {
+			t.Fatal("quarantined record found in training dataset")
+		}
+	}
+}
+
+func TestStoreSegmentRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, Config{Dir: dir, SegmentMaxRecords: 4, MaxSegments: 2})
+	// 4 distinct nodes x 5 ppn = 20 accepted records → 5 segments worth,
+	// retention keeps 2.
+	added := 0
+	for _, nodes := range []float64{2, 4, 8, 16} {
+		for _, ppn := range []float64{1, 2, 4, 8, 16} {
+			rec := oracleRecord(t, "allgather", nodes, ppn, 14)
+			if out, err := s.Add(rec); out != OutcomeAccepted {
+				t.Fatalf("add nodes=%v ppn=%v: outcome %s err %v", nodes, ppn, out, err)
+			}
+			added++
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Segments != 2 {
+		t.Fatalf("snapshot has %d segments, want 2 (retention)", snap.Segments)
+	}
+	if snap.Resident != 8 {
+		t.Fatalf("resident = %d, want 8 (2 segments x 4 records)", snap.Resident)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segFiles := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "segment-") {
+			segFiles++
+		}
+	}
+	if segFiles != 2 {
+		t.Fatalf("%d segment files on disk, want 2", segFiles)
+	}
+	// An evicted record's key is gone, so resubmitting it is accepted
+	// again rather than reported duplicate.
+	if out, err := s.Add(oracleRecord(t, "allgather", 2, 1, 14)); out != OutcomeAccepted {
+		t.Fatalf("resubmit of evicted record: outcome %s err %v", out, err)
+	}
+}
+
+func TestStoreCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, Config{Dir: dir, SegmentMaxRecords: 4, MaxSegments: 4})
+	for _, nodes := range []float64{2, 4, 8, 16, 24, 32} {
+		if out, err := s.Add(oracleRecord(t, "alltoall", nodes, 4, 16)); out != OutcomeAccepted {
+			t.Fatalf("add: outcome %s err %v", out, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Tear the active segment's tail, as a crash mid-append would.
+	active := filepath.Join(dir, "segment-000002.jsonl")
+	f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"collective":"alltoall","fea`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := newTestStore(t, Config{Dir: dir, SegmentMaxRecords: 4, MaxSegments: 4})
+	snap := s2.Snapshot()
+	if snap.Resident != 6 {
+		t.Fatalf("recovered resident = %d, want 6", snap.Resident)
+	}
+	if snap.Segments != 2 || snap.ActiveSegment != "segment-000002.jsonl" {
+		t.Fatalf("recovered layout = %+v", snap)
+	}
+	// Dedup survives recovery: resubmitting a recovered record is a dup.
+	if out, _ := s2.Add(oracleRecord(t, "alltoall", 2, 4, 16)); out != OutcomeDuplicate {
+		t.Fatalf("resubmit after recovery: outcome %s, want duplicate", out)
+	}
+	// And novel records land in the repaired active segment.
+	if out, err := s2.Add(oracleRecord(t, "alltoall", 3, 4, 16)); out != OutcomeAccepted {
+		t.Fatalf("novel add after recovery: outcome %s err %v", out, err)
+	}
+	ds, err := s2.Dataset()
+	if err != nil {
+		t.Fatalf("Dataset after recovery: %v", err)
+	}
+	if ds.Len() != 7 {
+		t.Fatalf("dataset after recovery has %d examples, want 7", ds.Len())
+	}
+}
+
+func TestStoreGuardDisabled(t *testing.T) {
+	s := newTestStore(t, Config{MaxCostRatio: -1})
+	poison := poisonedRecord(t, "broadcast", 16, 16, 10)
+	if out, err := s.Add(poison); out != OutcomeAccepted || err != nil {
+		t.Fatalf("guard-disabled add: outcome %s err %v", out, err)
+	}
+}

@@ -1,0 +1,94 @@
+package feedback
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+// fuzzStore is one long-lived store shared across fuzz iterations so the
+// accounting invariant is exercised against accumulated state (dedup hits,
+// segment rotation, quarantine growth), not a fresh directory every call.
+var (
+	fuzzOnce sync.Once
+	fuzzMu   sync.Mutex
+	fuzzS    *Store
+	fuzzErr  error
+)
+
+func fuzzStoreInit() {
+	dir, err := os.MkdirTemp("", "feedback-fuzz-")
+	if err != nil {
+		fuzzErr = err
+		return
+	}
+	fuzzS, fuzzErr = NewStore(obs.NewRegistry(), Config{
+		Dir:               dir,
+		SegmentMaxRecords: 64,
+		MaxSegments:       2,
+	})
+}
+
+// FuzzFeedbackRecord throws hostile JSON bodies at the full ingestion
+// path: envelope parse → record validation → oracle guard → store. It
+// must never panic, and the outcome accounting must stay consistent —
+// every parsed record lands in exactly one outcome bucket.
+func FuzzFeedbackRecord(f *testing.F) {
+	f.Add([]byte(`{"collective":"broadcast","features":{"num_nodes":4,"ppn":8,"log2_msg_size":10},"latency_us":{"binomial_tree":12.5,"pipeline":80.1,"scatter_allgather":44.0}}`))
+	f.Add([]byte(`{"records":[{"collective":"allgather","features":{"num_nodes":16,"ppn":32,"log2_msg_size":20},"latency_us":{"ring":9.0,"bruck":12.0}}]}`))
+	f.Add([]byte(`{"collective":"alltoall","features":{"num_nodes":2,"ppn":1,"log2_msg_size":4},"algorithm":"pairwise"}`))
+	f.Add([]byte(`{"collective":"broadcast","features":{"num_nodes":1e308,"ppn":-0,"log2_msg_size":0.5},"latency_us":{"pipeline":1e-300}}`))
+	f.Add([]byte(`{"collective":"broadcast","features":{"bogus_feature":1},"latency_us":{"binomial_tree":1}}`))
+	f.Add([]byte(`{"records":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"collective":"broadcast","features":{"num_nodes":4},"latency_us":{"binomial_tree":-5}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"collective":"broadcast","unknown_field":true}`))
+	f.Add([]byte(`{"collective":"broadcast","features":{"num_nodes":4,"ppn":8,"log2_msg_size":10},"latency_us":{"binomial_tree":1},"records":[{"collective":"broadcast"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzOnce.Do(fuzzStoreInit)
+		if fuzzErr != nil {
+			t.Fatalf("fuzz store init: %v", fuzzErr)
+		}
+		records, err := ParseRequest(data)
+		if err != nil {
+			return // hostile envelope rejected cleanly
+		}
+		if len(records) == 0 {
+			t.Fatal("ParseRequest returned no records and no error")
+		}
+		fuzzMu.Lock()
+		defer fuzzMu.Unlock()
+		before := fuzzS.Snapshot()
+		outcomes := map[Outcome]uint64{}
+		for i := range records {
+			out, _ := fuzzS.Add(&records[i])
+			switch out {
+			case OutcomeAccepted, OutcomeDuplicate, OutcomeQuarantined, OutcomeInvalid:
+				outcomes[out]++
+			default:
+				t.Fatalf("unknown outcome %q", out)
+			}
+		}
+		after := fuzzS.Snapshot()
+		if after.Accepted != before.Accepted+outcomes[OutcomeAccepted] ||
+			after.Duplicates != before.Duplicates+outcomes[OutcomeDuplicate] ||
+			after.Quarantined != before.Quarantined+outcomes[OutcomeQuarantined] ||
+			after.Invalid != before.Invalid+outcomes[OutcomeInvalid] {
+			t.Fatalf("outcome accounting drifted: before=%+v outcomes=%v after=%+v",
+				before, outcomes, after)
+		}
+		total := after.Accepted + after.Duplicates + after.Quarantined + after.Invalid
+		wantTotal := before.Accepted + before.Duplicates + before.Quarantined + before.Invalid + uint64(len(records))
+		if total != wantTotal {
+			t.Fatalf("total accounting drifted: got %d want %d", total, wantTotal)
+		}
+		if after.QuarantineRecords < before.QuarantineRecords {
+			t.Fatalf("quarantine count went backwards: %d -> %d",
+				before.QuarantineRecords, after.QuarantineRecords)
+		}
+	})
+}

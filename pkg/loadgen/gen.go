@@ -25,8 +25,9 @@ type Request struct {
 // consumes arrival draws) can never perturb the request contents, and vice
 // versa.
 const (
-	arrivalSeedMix = int64(-0x61c8864680b583eb) // 0x9e3779b97f4a7c15 as two's complement
-	batchSeedMix   = int64(0x5bf0363db2e2c6d9)
+	arrivalSeedMix  = int64(-0x61c8864680b583eb) // 0x9e3779b97f4a7c15 as two's complement
+	batchSeedMix    = int64(0x5bf0363db2e2c6d9)
+	feedbackSeedMix = int64(0x2545f4914f6cdd1d)
 )
 
 // Sequence deterministically expands a spec into n requests. The same
@@ -142,6 +143,22 @@ func batchFlags(seed int64, n int, fraction float64) []bool {
 		return flags
 	}
 	rng := rand.New(rand.NewSource(seed ^ batchSeedMix))
+	for i := range flags {
+		flags[i] = rng.Float64() < fraction
+	}
+	return flags
+}
+
+// feedbackFlags deterministically marks which requests also emit an
+// oracle-labeled record to /v1/feedback. The stream is decorrelated from
+// contents, arrivals, and batching, so turning feedback emission on or off
+// can never perturb the request sequence (the sequence hash is invariant).
+func feedbackFlags(seed int64, n int, fraction float64) []bool {
+	flags := make([]bool, n)
+	if fraction <= 0 {
+		return flags
+	}
+	rng := rand.New(rand.NewSource(seed ^ feedbackSeedMix))
 	for i := range flags {
 		flags[i] = rng.Float64() < fraction
 	}

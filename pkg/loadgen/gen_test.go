@@ -228,3 +228,47 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		t.Error("unknown fields must be rejected")
 	}
 }
+
+func TestFeedbackFlagsDeterministicAndDecorrelated(t *testing.T) {
+	a := feedbackFlags(4, 1000, 0.25)
+	b := feedbackFlags(4, 1000, 0.25)
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("feedback assignment differs between identical runs")
+		}
+		if a[i] {
+			n++
+		}
+	}
+	if n < 150 || n > 350 {
+		t.Errorf("feedback-flagged %d of 1000 at fraction 0.25", n)
+	}
+	for _, f := range feedbackFlags(4, 100, 0) {
+		if f {
+			t.Fatal("feedback flag set with fraction 0")
+		}
+	}
+	// The feedback stream must be independent of the batch stream: with
+	// one seed and one fraction the two flag vectors cannot coincide
+	// (that would mean a shared RNG stream, coupling the surfaces).
+	batch := batchFlags(4, 1000, 0.25)
+	same := 0
+	for i := range a {
+		if a[i] == batch[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("feedback flags identical to batch flags: seed streams are correlated")
+	}
+	// And emitting feedback draws nothing from the content stream.
+	s1, _ := Sequence(DefaultSpec(), 9, 100)
+	_ = feedbackFlags(9, 100, 0.5)
+	s2, _ := Sequence(DefaultSpec(), 9, 100)
+	h1, _ := SequenceHash(s1)
+	h2, _ := SequenceHash(s2)
+	if h1 != h2 {
+		t.Fatal("feedback flag generation perturbed request contents")
+	}
+}

@@ -37,6 +37,30 @@ type Report struct {
 	// is mounted: drift verdicts from /debug/drift plus margin and
 	// flight-recorder deltas from /metrics.
 	ModelHealth *ModelHealthReport `json:"model_health,omitempty"`
+	// Feedback tallies the oracle-labeled /v1/feedback side stream when
+	// the run emits one (FeedbackFraction > 0).
+	Feedback *FeedbackResults `json:"feedback,omitempty"`
+}
+
+// FeedbackResults is the client-side ledger of the feedback emission
+// stream: how many requests were flagged for emission and what the server
+// said about each posted record.
+type FeedbackResults struct {
+	// Fraction echoes the configured emission fraction.
+	Fraction float64 `json:"fraction"`
+	// Flagged counts requests selected by the deterministic emission
+	// stream; Posted counts the subset whose POST round-tripped with 200.
+	Flagged uint64 `json:"flagged"`
+	Posted  uint64 `json:"posted"`
+	// Per-record server outcomes summed across posted records.
+	Accepted    uint64 `json:"accepted"`
+	Duplicates  uint64 `json:"duplicates"`
+	Quarantined uint64 `json:"quarantined"`
+	Invalid     uint64 `json:"invalid"`
+	// Errors counts transport failures and non-200 envelopes; OracleSkips
+	// counts collectives the analytical oracle cannot label.
+	Errors      uint64 `json:"errors"`
+	OracleSkips uint64 `json:"oracle_skips,omitempty"`
 }
 
 // ModelHealthReport summarizes the observatory's verdict on the run.
@@ -62,16 +86,17 @@ type ModelHealthReport struct {
 // exact request sequence: two reports with equal spec/seed/hash replayed
 // identical workloads.
 type RunConfig struct {
-	SpecName        string  `json:"spec_name"`
-	Seed            int64   `json:"seed"`
-	SequenceHash    string  `json:"sequence_hash"`
-	QPS             float64 `json:"target_qps"`
-	DurationSeconds float64 `json:"duration_seconds"`
-	WarmupSeconds   float64 `json:"warmup_seconds"`
-	Workers         int     `json:"workers"`
-	BatchFraction   float64 `json:"batch_fraction"`
-	BatchSize       int     `json:"batch_size,omitempty"`
-	Scheduled       int     `json:"scheduled_requests"`
+	SpecName         string  `json:"spec_name"`
+	Seed             int64   `json:"seed"`
+	SequenceHash     string  `json:"sequence_hash"`
+	QPS              float64 `json:"target_qps"`
+	DurationSeconds  float64 `json:"duration_seconds"`
+	WarmupSeconds    float64 `json:"warmup_seconds"`
+	Workers          int     `json:"workers"`
+	BatchFraction    float64 `json:"batch_fraction"`
+	BatchSize        int     `json:"batch_size,omitempty"`
+	FeedbackFraction float64 `json:"feedback_fraction,omitempty"`
+	Scheduled        int     `json:"scheduled_requests"`
 }
 
 // ServerInfo stamps the server identity at run start.
@@ -123,6 +148,14 @@ type ServerDelta struct {
 	// RecentDecisionsByGeneration tallies the bounded /debug/decisions
 	// ring after the run — a sample of which model generation answered.
 	RecentDecisionsByGeneration map[string]uint64 `json:"recent_decisions_by_generation,omitempty"`
+
+	// FeedbackByOutcome is the run-window delta of the server's
+	// pmlmpi_feedback_records_total counter by outcome — the server-side
+	// cross-check of the client's FeedbackResults ledger.
+	FeedbackByOutcome map[string]uint64 `json:"feedback_by_outcome,omitempty"`
+	// RetrainCycles is the run-window delta of pmlmpi_retrain_cycles_total
+	// by outcome: retrain cycles the workload triggered while running.
+	RetrainCycles map[string]uint64 `json:"retrain_cycles,omitempty"`
 }
 
 // WriteFile atomically writes the report as indented JSON: temp file in

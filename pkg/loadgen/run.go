@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/perfmodel"
 )
 
 // Options configures one load-generation run.
@@ -35,6 +36,13 @@ type Options struct {
 	Workers int
 	// Timeout bounds each HTTP request (default 10s).
 	Timeout time.Duration
+	// FeedbackFraction is the fraction of requests that also POST an
+	// oracle-labeled record to /v1/feedback after their select completes,
+	// exercising the server's self-tuning loop under load. The emission
+	// stream is seeded independently of contents, arrivals, and batching,
+	// so the sequence hash is identical with feedback on or off. 0 (the
+	// default) disables emission.
+	FeedbackFraction float64
 	// Client overrides the HTTP client (tests inject httptest clients).
 	Client *http.Client
 	// Logf, when non-nil, receives progress lines.
@@ -94,6 +102,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.FeedbackFraction < 0 || opts.FeedbackFraction > 1 {
+		return nil, fmt.Errorf("feedback fraction must be in [0,1], got %v", opts.FeedbackFraction)
+	}
 	p := newProbe(opts.BaseURL, opts.Client)
 
 	healthBefore, err := p.health(ctx)
@@ -122,6 +133,12 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	opts.Logf("loadgen: %d requests (%d dispatch units) at %.0f qps, seq %s",
 		total, len(jobs), opts.QPS, hash[:12])
 
+	var fb *feedbackEmitter
+	if opts.FeedbackFraction > 0 {
+		fb = newFeedbackEmitter(opts, feedbackFlags(opts.Seed, total, opts.FeedbackFraction))
+		opts.Logf("loadgen: emitting oracle-labeled feedback for %.0f%% of requests", opts.FeedbackFraction*100)
+	}
+
 	rec := newRecorder()
 	ch := make(chan job, len(jobs))
 	var wg sync.WaitGroup
@@ -131,7 +148,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				execute(ctx, opts, rec, start, j)
+				execute(ctx, opts, rec, start, j, fb)
 			}
 		}()
 	}
@@ -148,16 +165,17 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		Schema:      ReportSchema,
 		GeneratedAt: end.UTC().Format(time.RFC3339),
 		Config: RunConfig{
-			SpecName:        spec.Name,
-			Seed:            opts.Seed,
-			SequenceHash:    hash,
-			QPS:             opts.QPS,
-			DurationSeconds: opts.Duration.Seconds(),
-			WarmupSeconds:   opts.Warmup.Seconds(),
-			Workers:         opts.Workers,
-			BatchFraction:   spec.BatchFraction,
-			BatchSize:       spec.BatchSize,
-			Scheduled:       total,
+			SpecName:         spec.Name,
+			Seed:             opts.Seed,
+			SequenceHash:     hash,
+			QPS:              opts.QPS,
+			DurationSeconds:  opts.Duration.Seconds(),
+			WarmupSeconds:    opts.Warmup.Seconds(),
+			Workers:          opts.Workers,
+			BatchFraction:    spec.BatchFraction,
+			BatchSize:        spec.BatchSize,
+			FeedbackFraction: opts.FeedbackFraction,
+			Scheduled:        total,
 		},
 		Server: ServerInfo{
 			Version:            healthBefore.ServerVersion,
@@ -177,6 +195,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 
 	window := end.Sub(start.Add(opts.Warmup)).Seconds()
 	rep.Client = rec.results(window)
+	if fb != nil {
+		rep.Feedback = fb.results()
+	}
 
 	// Post-run server-side evidence. The run is already complete, so a
 	// scrape failure degrades the report instead of failing it.
@@ -262,12 +283,14 @@ func dispatch(ctx context.Context, start time.Time, jobs []job, ch chan<- job) e
 
 // execute performs one dispatch unit and records its outcome. warmup
 // membership is per request: a batch straddling the warmup boundary
-// contributes only its measured members.
-func execute(ctx context.Context, opts Options, rec *recorder, start time.Time, j job) {
+// contributes only its measured members. Feedback emission happens after
+// the select is recorded, so it never inflates select latencies.
+func execute(ctx context.Context, opts Options, rec *recorder, start time.Time, j job, fb *feedbackEmitter) {
 	if j.single != nil {
 		measured := j.offset >= opts.Warmup
 		ok, kind := postSelect(ctx, opts, j.single)
 		rec.record("/v1/select", time.Since(start.Add(j.offset)).Seconds(), measured, ok, kind)
+		fb.maybeEmit(ctx, j.single)
 		return
 	}
 	okItems, callOK, kind := postBatch(ctx, opts, j.group)
@@ -281,7 +304,104 @@ func execute(ctx context.Context, opts Options, rec *recorder, start time.Time, 
 			itemKind = "batch_item"
 		}
 		rec.recordItem(time.Since(start.Add(j.offsets[i])).Seconds(), measured, itemOK, itemKind)
+		fb.maybeEmit(ctx, &j.group[i])
 	}
+}
+
+// feedbackEmitter turns flagged requests into oracle-labeled /v1/feedback
+// POSTs: the analytical model prices every algorithm for the request's
+// feature point and the per-algorithm costs become the record's observed
+// latencies. Against a live analytical oracle the argmin always agrees
+// with the plausibility guard, so accepted/duplicate are the expected
+// outcomes on a healthy server.
+type feedbackEmitter struct {
+	opts  Options
+	flags []bool
+
+	mu  sync.Mutex
+	res FeedbackResults
+}
+
+func newFeedbackEmitter(opts Options, flags []bool) *feedbackEmitter {
+	return &feedbackEmitter{opts: opts, flags: flags, res: FeedbackResults{Fraction: opts.FeedbackFraction}}
+}
+
+// maybeEmit posts an oracle-labeled record for flagged requests. Safe on a
+// nil emitter (feedback disabled).
+func (e *feedbackEmitter) maybeEmit(ctx context.Context, r *Request) {
+	if e == nil || r.Index >= len(e.flags) || !e.flags[r.Index] {
+		return
+	}
+	e.mu.Lock()
+	e.res.Flagged++
+	e.mu.Unlock()
+
+	costs, err := perfmodel.Costs(r.Collective, r.Features)
+	if err != nil {
+		e.count(func(res *FeedbackResults) { res.OracleSkips++ })
+		return
+	}
+	algos := perfmodel.Table()[r.Collective]
+	lat := make(map[string]float64, len(algos))
+	for i, name := range algos {
+		lat[name] = costs[i] * 1e6
+	}
+	body, err := json.Marshal(struct {
+		Collective  string             `json:"collective"`
+		Features    map[string]float64 `json:"features"`
+		LatenciesUS map[string]float64 `json:"latency_us"`
+	}{r.Collective, r.Features, lat})
+	if err != nil {
+		e.count(func(res *FeedbackResults) { res.Errors++ })
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.opts.BaseURL+"/v1/feedback", bytes.NewReader(body))
+	if err != nil {
+		e.count(func(res *FeedbackResults) { res.Errors++ })
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.opts.Client.Do(req)
+	if err != nil {
+		e.count(func(res *FeedbackResults) { res.Errors++ })
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		e.count(func(res *FeedbackResults) { res.Errors++ })
+		return
+	}
+	var parsed struct {
+		Accepted    int `json:"accepted"`
+		Duplicates  int `json:"duplicates"`
+		Quarantined int `json:"quarantined"`
+		Invalid     int `json:"invalid"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+		e.count(func(res *FeedbackResults) { res.Errors++ })
+		return
+	}
+	e.count(func(res *FeedbackResults) {
+		res.Posted++
+		res.Accepted += uint64(parsed.Accepted)
+		res.Duplicates += uint64(parsed.Duplicates)
+		res.Quarantined += uint64(parsed.Quarantined)
+		res.Invalid += uint64(parsed.Invalid)
+	})
+}
+
+func (e *feedbackEmitter) count(f func(*FeedbackResults)) {
+	e.mu.Lock()
+	f(&e.res)
+	e.mu.Unlock()
+}
+
+func (e *feedbackEmitter) results() *FeedbackResults {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.res
+	return &out
 }
 
 type selectBody struct {

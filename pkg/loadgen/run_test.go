@@ -15,9 +15,11 @@ import (
 	"github.com/pml-mpi/pmlmpi/pkg/admin"
 	"github.com/pml-mpi/pmlmpi/pkg/analytics"
 	"github.com/pml-mpi/pmlmpi/pkg/cache"
+	"github.com/pml-mpi/pmlmpi/pkg/feedback"
 	"github.com/pml-mpi/pmlmpi/pkg/modelhealth"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
+	"github.com/pml-mpi/pmlmpi/pkg/retrain"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
 	"github.com/pml-mpi/pmlmpi/pkg/slo"
 )
@@ -356,5 +358,110 @@ func TestReportWriteFileAtomic(t *testing.T) {
 	entries, _ := os.ReadDir(dir)
 	if len(entries) != 1 {
 		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+// newSelfTuningServer extends the live fixture server with the feedback
+// store and an idle retrain controller — the full self-tuning surface.
+func newSelfTuningServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	o := obs.NewForTest()
+	o.Logger.SetLevel(obs.LevelError)
+	shadow := registry.NewShadow(o, registry.ShadowConfig{})
+	r := registry.New(o, registry.Config{Shadow: shadow})
+	g, err := r.Load(filepath.Join("..", "bundle", "testdata", "trained_small.json"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	if _, err := r.Promote(g.ID()); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	health := modelhealth.New(o.Registry, modelhealth.Config{})
+	sel := selector.NewFromSource(r, o, selector.Config{
+		RingSize: 1024,
+		Cache:    cache.New(cache.Config{}, o.Registry),
+		Health:   health,
+	})
+	store, err := feedback.NewStore(o.Registry, feedback.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("feedback store: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+	ctrl, err := retrain.New(o, retrain.Config{},
+		retrain.Deps{Store: store, Registry: r, Shadow: shadow, Health: health})
+	if err != nil {
+		t.Fatalf("retrain controller: %v", err)
+	}
+	srv := httptest.NewServer(admin.New(sel, o, admin.Config{
+		Registry: r, Health: health, Feedback: store, Retrain: ctrl,
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRunFeedbackEmission: a feedback-emitting run posts oracle-labeled
+// records for exactly the flagged requests, the server accepts or dedups
+// every one (the oracle labels itself, so nothing can be implausible), the
+// client and server ledgers agree, and the sequence hash is the same one a
+// feedback-free run would report.
+func TestRunFeedbackEmission(t *testing.T) {
+	srv := newSelfTuningServer(t)
+	opts := Options{
+		BaseURL:          srv.URL,
+		Seed:             11,
+		QPS:              400,
+		Duration:         time.Second,
+		Workers:          8,
+		FeedbackFraction: 0.5,
+		Logf:             t.Logf,
+	}
+	rep, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Client.Errors != 0 {
+		t.Fatalf("client errors = %d (%v)", rep.Client.Errors, rep.Client.ErrorsByKind)
+	}
+	fb := rep.Feedback
+	if fb == nil {
+		t.Fatal("report has no feedback section despite FeedbackFraction 0.5")
+	}
+	if rep.Config.FeedbackFraction != 0.5 || fb.Fraction != 0.5 {
+		t.Errorf("feedback fraction not echoed: config %v, results %v", rep.Config.FeedbackFraction, fb.Fraction)
+	}
+	if fb.Flagged == 0 || fb.Flagged >= uint64(rep.Config.Scheduled) {
+		t.Fatalf("flagged = %d of %d scheduled at fraction 0.5", fb.Flagged, rep.Config.Scheduled)
+	}
+	if fb.Errors != 0 || fb.OracleSkips != 0 {
+		t.Fatalf("feedback errors=%d oracle_skips=%d, want 0 (%+v)", fb.Errors, fb.OracleSkips, fb)
+	}
+	if fb.Posted != fb.Flagged {
+		t.Errorf("posted %d != flagged %d", fb.Posted, fb.Flagged)
+	}
+	// The oracle labels its own records, so every post is accepted or a
+	// dedup of an earlier identical feature point.
+	if fb.Accepted == 0 || fb.Accepted+fb.Duplicates != fb.Posted {
+		t.Errorf("accepted %d + duplicates %d != posted %d (quarantined %d, invalid %d)",
+			fb.Accepted, fb.Duplicates, fb.Posted, fb.Quarantined, fb.Invalid)
+	}
+	// Server-side cross-check via the scraped counter delta.
+	if got := rep.Delta.FeedbackByOutcome["accepted"]; got != fb.Accepted {
+		t.Errorf("server accepted delta = %d, client saw %d", got, fb.Accepted)
+	}
+	if got := rep.Delta.FeedbackByOutcome["duplicate"]; got != fb.Duplicates {
+		t.Errorf("server duplicate delta = %d, client saw %d", got, fb.Duplicates)
+	}
+	// Feedback emission must not perturb the workload: the hash matches
+	// the pure expansion of (spec, seed, n).
+	seq, _ := Sequence(*opts.withDefaults().Spec, opts.Seed, rep.Config.Scheduled)
+	wantHash, _ := SequenceHash(seq)
+	if rep.Config.SequenceHash != wantHash {
+		t.Errorf("report hash %s != feedback-free expansion %s", rep.Config.SequenceHash, wantHash)
+	}
+}
+
+func TestRunRejectsBadFeedbackFraction(t *testing.T) {
+	if _, err := Run(context.Background(), Options{BaseURL: "http://127.0.0.1:1", FeedbackFraction: 1.5}); err == nil {
+		t.Fatal("want error for feedback fraction > 1")
 	}
 }

@@ -138,6 +138,9 @@ type metricsSnapshot struct {
 	marginCount   float64 // pmlmpi_margin_vote observations across collectives
 	marginLow     float64 // pmlmpi_margin_low_total across collectives
 	flightRecords float64 // pmlmpi_flightrec_records_total across reasons
+
+	feedbackByOutcome map[string]float64 // pmlmpi_feedback_records_total by outcome
+	retrainByOutcome  map[string]float64 // pmlmpi_retrain_cycles_total by outcome
 }
 
 func (p *probe) metrics(ctx context.Context) (*metricsSnapshot, error) {
@@ -162,9 +165,11 @@ func (p *probe) metrics(ctx context.Context) (*metricsSnapshot, error) {
 
 func parseMetrics(text string) (*metricsSnapshot, error) {
 	snap := &metricsSnapshot{
-		selections: make(map[string]float64),
-		pathCounts: make(map[string]float64),
-		buckets:    make(map[float64]float64),
+		selections:        make(map[string]float64),
+		pathCounts:        make(map[string]float64),
+		buckets:           make(map[float64]float64),
+		feedbackByOutcome: make(map[string]float64),
+		retrainByOutcome:  make(map[string]float64),
 	}
 	for _, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
@@ -193,6 +198,10 @@ func parseMetrics(text string) (*metricsSnapshot, error) {
 			snap.marginLow += value
 		case "pmlmpi_flightrec_records_total":
 			snap.flightRecords += value
+		case "pmlmpi_feedback_records_total":
+			snap.feedbackByOutcome[labels["outcome"]] += value
+		case "pmlmpi_retrain_cycles_total":
+			snap.retrainByOutcome[labels["outcome"]] += value
 		case "pmlmpi_select_duration_seconds_bucket":
 			le, err := parseLE(labels["le"])
 			if err != nil {
@@ -300,6 +309,22 @@ func (after *metricsSnapshot) delta(before *metricsSnapshot) ServerDelta {
 	for p, v := range after.pathCounts {
 		if n := clampU64(v - before.pathCounts[p]); n > 0 {
 			d.SelectPathCounts[p] = n
+		}
+	}
+	for o, v := range after.feedbackByOutcome {
+		if n := clampU64(v - before.feedbackByOutcome[o]); n > 0 {
+			if d.FeedbackByOutcome == nil {
+				d.FeedbackByOutcome = make(map[string]uint64)
+			}
+			d.FeedbackByOutcome[o] = n
+		}
+	}
+	for o, v := range after.retrainByOutcome {
+		if n := clampU64(v - before.retrainByOutcome[o]); n > 0 {
+			if d.RetrainCycles == nil {
+				d.RetrainCycles = make(map[string]uint64)
+			}
+			d.RetrainCycles[o] = n
 		}
 	}
 

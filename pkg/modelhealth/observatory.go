@@ -453,6 +453,22 @@ func (o *Observatory) DriftReport() DriftReport {
 	}
 }
 
+// DriftState returns the overall drift status and the total completed
+// drift windows across monitored features for the active generation. The
+// window count only grows within a generation, so callers polling for a
+// sustained ALERT (e.g. the retrain controller) can use the delta to count
+// how many windows completed while the status held.
+func (o *Observatory) DriftState() (DriftStatus, uint64) {
+	ds := o.drift.Load()
+	var windows uint64
+	for _, m := range ds.monitors {
+		m.mu.Lock()
+		windows += m.windows
+		m.mu.Unlock()
+	}
+	return ds.status(o.cfg.AlertPSI), windows
+}
+
 // Scorecard is one generation's quality record, as served on
 // /debug/scorecards.
 type Scorecard struct {
@@ -540,11 +556,11 @@ func (o *Observatory) ActiveScorecard() (Scorecard, bool) {
 
 // Summary is the /healthz model_health block.
 type Summary struct {
-	DriftStatus   string  `json:"drift_status"`
-	LowMarginRate float64 `json:"low_margin_rate"`
-	Decisions     uint64  `json:"decisions"`
-	FlightRecOccupancy int `json:"flightrecorder_occupancy"`
-	FlightRecCapacity  int `json:"flightrecorder_capacity"`
+	DriftStatus        string  `json:"drift_status"`
+	LowMarginRate      float64 `json:"low_margin_rate"`
+	Decisions          uint64  `json:"decisions"`
+	FlightRecOccupancy int     `json:"flightrecorder_occupancy"`
+	FlightRecCapacity  int     `json:"flightrecorder_capacity"`
 }
 
 // Summary builds the /healthz block.

@@ -1,0 +1,65 @@
+package retrain
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/cache"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/selector"
+	"github.com/pml-mpi/pmlmpi/pkg/synth"
+)
+
+// TestSelectFeedbackZeroAllocOverhead pins the tentpole's hot-path
+// contract: running the feedback store and the retrain controller
+// alongside a selector adds zero allocations to the warm Select path —
+// ingestion and retraining live entirely on the admin/background path.
+// Measured differentially against an identical stack without them.
+func TestSelectFeedbackZeroAllocOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+
+	build := func(withLoop bool) *selector.Selector {
+		bd, err := synth.New(synth.Config{Seed: 51, Collectives: []string{"bench"}, Trees: 64, Depth: 8, Features: 14, Classes: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := obs.NewForTest()
+		o.Logger.SetLevel(obs.LevelError)
+		sel := selector.New(bd, o, selector.Config{Cache: cache.New(cache.Config{}, o.Registry)})
+		if withLoop {
+			h := newHarness(t)
+			seedFeedback(t, h.store)
+			c := h.controller(t, Config{Interval: time.Hour, DriftWindows: 4, DriftPoll: time.Hour})
+			c.Start()
+			t.Cleanup(c.Stop)
+		}
+		return sel
+	}
+
+	pt := synth.Points(51, 1)[0]
+	measure := func(s *selector.Selector) float64 {
+		ctx := context.Background()
+		if _, err := s.Select(ctx, "bench", pt); err != nil { // warm the cache
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(2000, func() {
+			d, err := s.Select(ctx, "bench", pt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !d.Cached {
+				t.Fatal("iteration missed the cache")
+			}
+		})
+	}
+
+	base := measure(build(false))
+	instrumented := measure(build(true))
+	if instrumented > base {
+		t.Fatalf("feedback/retrain wiring adds %.1f allocations per warm Select (%.1f -> %.1f), want 0 added",
+			instrumented-base, base, instrumented)
+	}
+}
