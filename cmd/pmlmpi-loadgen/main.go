@@ -27,7 +27,8 @@ import (
 
 func main() {
 	var (
-		target   = flag.String("target", "http://127.0.0.1:8080", "base URL of the pmlmpi-server to load")
+		target   = flag.String("target", "http://127.0.0.1:8080", "base URL of the pmlmpi-server (or pmlmpi-gateway) to load")
+		mode     = flag.String("target-mode", loadgen.ModeServer, "what -target points at: \"server\" or \"gateway\" (gateway mode adds a per-replica routing section; the request sequence is identical either way)")
 		qps      = flag.Float64("qps", 200, "target open-loop arrival rate (requests/second)")
 		duration = flag.Duration("duration", 5*time.Second, "measured window")
 		warmup   = flag.Duration("warmup", time.Second, "warmup period excluded from client statistics")
@@ -41,13 +42,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*target, *qps, *duration, *warmup, *workers, *seed, *specPath, *out, *timeout, *dumpSpec, *fbFrac); err != nil {
+	if err := run(*target, *mode, *qps, *duration, *warmup, *workers, *seed, *specPath, *out, *timeout, *dumpSpec, *fbFrac); err != nil {
 		fmt.Fprintln(os.Stderr, "pmlmpi-loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(target string, qps float64, duration, warmup time.Duration, workers int, seed int64, specPath, out string, timeout time.Duration, dumpSpec bool, fbFrac float64) error {
+func run(target, mode string, qps float64, duration, warmup time.Duration, workers int, seed int64, specPath, out string, timeout time.Duration, dumpSpec bool, fbFrac float64) error {
 	spec := loadgen.DefaultSpec()
 	if specPath != "" {
 		var err error
@@ -66,6 +67,7 @@ func run(target string, qps float64, duration, warmup time.Duration, workers int
 		buildinfo.Resolve(), target, qps, duration, warmup, spec.Name, seed)
 	rep, err := loadgen.Run(ctx, loadgen.Options{
 		BaseURL:          target,
+		TargetMode:       mode,
 		Spec:             &spec,
 		Seed:             seed,
 		QPS:              qps,
@@ -88,6 +90,12 @@ func run(target string, qps float64, duration, warmup time.Duration, workers int
 		rep.Client.Latency.P50US, rep.Client.Latency.P99US,
 		rep.Delta.SelectLatency.P50US, rep.Delta.SelectLatency.P99US,
 		rep.Delta.CacheHitRate)
+	if gw := rep.Gateway; gw != nil {
+		for _, r := range gw.Replicas {
+			fmt.Fprintf(os.Stderr, "gateway: replica %s healthy=%v share=%.2f (%d requests, %d errors)\n",
+				r.ID, r.Healthy, r.Share, r.Requests, r.Errors)
+		}
+	}
 	if fb := rep.Feedback; fb != nil {
 		fmt.Fprintf(os.Stderr,
 			"feedback: %d flagged, %d posted (%d accepted, %d duplicate, %d quarantined, %d invalid), %d errors\n",

@@ -28,6 +28,7 @@ import (
 	"github.com/pml-mpi/pmlmpi/pkg/modelhealth"
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
+	"github.com/pml-mpi/pmlmpi/pkg/replica"
 	"github.com/pml-mpi/pmlmpi/pkg/retrain"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
 	"github.com/pml-mpi/pmlmpi/pkg/slo"
@@ -65,6 +66,14 @@ type options struct {
 	retrainMinRecords   int
 	retrainDriftWindows int
 	promotePolicy       string
+
+	controlPlane     string
+	replicaID        string
+	advertise        string
+	manifestPoll     time.Duration
+	stageSoak        time.Duration
+	minAgreement     float64
+	minShadowSamples uint64
 
 	traceSampleRate float64
 	traceCapacity   int
@@ -109,6 +118,14 @@ func main() {
 		retrainDriftWindows = flag.Int("retrain-drift-windows", 0, "completed drift windows at ALERT that trigger a retrain cycle (0 disables the drift trigger)")
 		promotePolicy       = flag.String("promote-policy", retrain.PolicyAuto, "what happens to a winning candidate: auto (promote) or manual (stage only)")
 
+		controlPlane     = flag.String("controlplane", "", "control-plane base URL; set to run as a fleet replica that pulls bundles by manifest hash (empty = standalone server)")
+		replicaID        = flag.String("replica-id", "", "unique replica id reported to the control plane (default: hostname)")
+		advertise        = flag.String("advertise", "", "this replica's own base URL, reported in heartbeats for discovery")
+		manifestPoll     = flag.Duration("manifest-poll", 2*time.Second, "control-plane manifest poll (and heartbeat) interval")
+		stageSoak        = flag.Duration("stage-soak", 10*time.Second, "shadow-evaluation soak before a pulled candidate is promoted (negative = promote immediately)")
+		minAgreement     = flag.Float64("min-agreement", 0.9, "shadow-agreement rate below which a soaking candidate is rejected")
+		minShadowSamples = flag.Uint64("min-shadow-samples", 20, "shadow samples required before the agreement gate judges a candidate")
+
 		traceSampleRate = flag.Float64("trace-sample-rate", 0.01, "head-based trace sampling fraction in [0,1] (0 disables tracing)")
 		traceCapacity   = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "sampled traces retained for /debug/traces")
 		pprofFlag       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -149,6 +166,14 @@ func main() {
 		retrainMinRecords:   *retrainMinRecords,
 		retrainDriftWindows: *retrainDriftWindows,
 		promotePolicy:       *promotePolicy,
+
+		controlPlane:     *controlPlane,
+		replicaID:        *replicaID,
+		advertise:        *advertise,
+		manifestPoll:     *manifestPoll,
+		stageSoak:        *stageSoak,
+		minAgreement:     *minAgreement,
+		minShadowSamples: *minShadowSamples,
 
 		traceSampleRate: *traceSampleRate,
 		traceCapacity:   *traceCapacity,
@@ -191,11 +216,18 @@ func run(o *obs.Obs, opts options) error {
 	})
 	reg := registry.New(o, registry.Config{Keep: opts.registryKeep, Shadow: shadow})
 	gen, err := reg.Load(opts.bundlePath)
-	if err != nil {
+	switch {
+	case err == nil:
+		if _, err := reg.Promote(gen.ID()); err != nil {
+			return fmt.Errorf("promote initial bundle: %w", err)
+		}
+	case opts.controlPlane != "":
+		// A fleet replica can boot without a local bundle: the agent pulls
+		// the desired generation from the control plane and promotes it.
+		o.Logger.Warn("no local bundle; waiting for the control plane",
+			"path", opts.bundlePath, "error", err.Error())
+	default:
 		return fmt.Errorf("load bundle: %w", err)
-	}
-	if _, err := reg.Promote(gen.ID()); err != nil {
-		return fmt.Errorf("promote initial bundle: %w", err)
 	}
 
 	var decisionCache *cache.Cache
@@ -244,7 +276,40 @@ func run(o *obs.Obs, opts options) error {
 	shadow.Start()
 
 	if opts.bundleWatch {
-		go registry.NewWatcher(reg, o, opts.bundlePath, opts.watchInterval).Run(ctx)
+		go replica.NewFileWatcher(reg, o, opts.bundlePath, opts.watchInterval).Run(ctx)
+	}
+
+	// Fleet membership: poll the control-plane manifest, pull-verify-stage
+	// desired bundles, soak them against shadow evaluation, and heartbeat.
+	role := "server"
+	var agent *replica.Agent
+	if opts.controlPlane != "" {
+		role = "replica"
+		id := opts.replicaID
+		if id == "" {
+			if host, err := os.Hostname(); err == nil {
+				id = host
+			} else {
+				id = fmt.Sprintf("replica-%d", os.Getpid())
+			}
+		}
+		agent, err = replica.NewAgent(o, replica.AgentConfig{
+			ControlPlane:     opts.controlPlane,
+			ReplicaID:        id,
+			Advertise:        opts.advertise,
+			Registry:         reg,
+			Shadow:           shadow,
+			Health:           health,
+			SLO:              tracker,
+			PollInterval:     opts.manifestPoll,
+			StageSoak:        opts.stageSoak,
+			MinAgreement:     opts.minAgreement,
+			MinShadowSamples: opts.minShadowSamples,
+		})
+		if err != nil {
+			return fmt.Errorf("replica agent: %w", err)
+		}
+		go agent.Run(ctx)
 	}
 
 	// Self-tuning loop: the feedback store ingests /v1/feedback into an
@@ -294,18 +359,32 @@ func run(o *obs.Obs, opts options) error {
 			Health:   health,
 			Feedback: store,
 			Retrain:  ctrl,
+			Role:     role,
+			Desired: func() any {
+				if agent == nil {
+					return nil
+				}
+				return agent.Status()
+			},
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() {
+		var genID uint64
+		var collectives []string
+		if g := reg.ActiveGeneration(); g != nil {
+			genID = g.ID()
+			collectives = g.Bundle().CollectiveNames()
+		}
 		o.Logger.Info("serving",
 			"addr", opts.addr,
+			"role", role,
 			"version", buildinfo.Resolve(),
-			"generation", gen.ID(),
+			"generation", genID,
 			"forest_eval", opts.forestEval,
-			"collectives", gen.Bundle().CollectiveNames())
+			"collectives", collectives)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}

@@ -56,6 +56,13 @@ type Config struct {
 	// state machine and verdict history, and adds a retrain block to
 	// /healthz.
 	Retrain *retrain.Controller
+	// Role names this node's fleet role in /healthz ("server", "replica",
+	// "gateway"). Empty defaults to "server".
+	Role string
+	// Desired, when non-nil, supplies the manifest state this node
+	// believes is desired (the replica agent's Status) for /healthz, so
+	// fleet drift is diagnosable from one endpoint.
+	Desired func() any
 }
 
 // Route describes one registered endpoint: its path and the single method
@@ -76,6 +83,8 @@ type Server struct {
 	health   *modelhealth.Observatory
 	feedback *feedback.Store
 	retrain  *retrain.Controller
+	role     string
+	desired  func() any
 	started  time.Time
 	mux      *http.ServeMux
 	routes   []Route
@@ -95,6 +104,8 @@ func New(sel *selector.Selector, o *obs.Obs, cfg Config) *Server {
 		health:   cfg.Health,
 		feedback: cfg.Feedback,
 		retrain:  cfg.Retrain,
+		role:     cfg.Role,
+		desired:  cfg.Desired,
 		started:  time.Now(),
 		mux:      http.NewServeMux(),
 		httpRequests: o.Registry.Counter("pmlmpi_http_requests_total",
@@ -237,6 +248,8 @@ type healthGeneration struct {
 // Health is the /healthz response body.
 type Health struct {
 	Status        string                      `json:"status"`
+	Role          string                      `json:"role"`
+	Desired       any                         `json:"desired,omitempty"`
 	ServerVersion string                      `json:"server_version"`
 	GoVersion     string                      `json:"go_version"`
 	ForestEval    string                      `json:"forest_eval,omitempty"`
@@ -256,10 +269,17 @@ type Health struct {
 // active — the load balancer signal that this instance cannot select.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Health{
+		Role:          s.role,
 		ServerVersion: buildinfo.Resolve(),
 		GoVersion:     buildinfo.GoVersion(),
 		ForestEval:    s.sel.ForestEval(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	if h.Role == "" {
+		h.Role = "server"
+	}
+	if s.desired != nil {
+		h.Desired = s.desired()
 	}
 	if s.health != nil {
 		sum := s.health.Summary()

@@ -1,0 +1,221 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+)
+
+func newTestServer(t *testing.T) (*Server, *Store, *Rollout) {
+	t.Helper()
+	store, _ := NewStore("")
+	ro := NewRollout(store, RolloutConfig{Now: newFakeClock().now})
+	srv := NewServer(store, ro, obs.NewForTest(), ServerConfig{PollInterval: time.Second})
+	return srv, store, ro
+}
+
+func doJSON(t *testing.T, srv http.Handler, method, path string, body []byte, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	if out != nil && rr.Code < 300 {
+		if err := json.Unmarshal(rr.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad JSON response %q: %v", method, path, rr.Body.String(), err)
+		}
+	}
+	return rr
+}
+
+func TestBundleUploadFetchAndETag(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	data := synthBundle(t, 1)
+
+	var up struct {
+		Hash       string `json:"hash"`
+		Existed    bool   `json:"existed"`
+		Generation uint64 `json:"generation"`
+	}
+	rr := doJSON(t, srv, http.MethodPost, "/v1/bundles", data, &up)
+	if rr.Code != http.StatusOK || up.Hash != HashOf(data) || up.Generation != 1 {
+		t.Fatalf("upload: code=%d resp=%+v", rr.Code, up)
+	}
+
+	// Plain GET returns the bytes with the quoted hash as ETag.
+	req := httptest.NewRequest(http.MethodGet, "/v1/bundles/"+up.Hash, nil)
+	get := httptest.NewRecorder()
+	srv.ServeHTTP(get, req)
+	if get.Code != http.StatusOK || !bytes.Equal(get.Body.Bytes(), data) {
+		t.Fatalf("fetch: code=%d len=%d want %d bytes", get.Code, get.Body.Len(), len(data))
+	}
+	etag := get.Header().Get("ETag")
+	if etag != `"`+up.Hash+`"` {
+		t.Fatalf("ETag = %q, want quoted hash", etag)
+	}
+
+	// Conditional GET with the ETag is a body-less 304.
+	req = httptest.NewRequest(http.MethodGet, "/v1/bundles/"+up.Hash, nil)
+	req.Header.Set("If-None-Match", etag)
+	cond := httptest.NewRecorder()
+	srv.ServeHTTP(cond, req)
+	if cond.Code != http.StatusNotModified || cond.Body.Len() != 0 {
+		t.Fatalf("conditional fetch: code=%d bodyLen=%d, want 304 empty", cond.Code, cond.Body.Len())
+	}
+
+	// Bad hash and unknown hash.
+	if rr := doJSON(t, srv, http.MethodGet, "/v1/bundles/nothex", nil, nil); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad hash: code=%d, want 400", rr.Code)
+	}
+	missing := strings.Repeat("ab", 32)
+	if rr := doJSON(t, srv, http.MethodGet, "/v1/bundles/"+missing, nil, nil); rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown hash: code=%d, want 404", rr.Code)
+	}
+	// Garbage upload is rejected with 422.
+	if rr := doJSON(t, srv, http.MethodPost, "/v1/bundles", []byte("junk"), nil); rr.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage upload: code=%d, want 422", rr.Code)
+	}
+}
+
+func TestManifestETagInvalidatesOnStateChange(t *testing.T) {
+	srv, _, ro := newTestServer(t)
+	stable := synthBundle(t, 1)
+	doJSON(t, srv, http.MethodPost, "/v1/bundles?stable=true", stable, nil)
+
+	var m Manifest
+	req := httptest.NewRequest(http.MethodGet, "/v1/manifest?ring=fleet", nil)
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	json.Unmarshal(rr.Body.Bytes(), &m)
+	if m.DesiredHash != HashOf(stable) || m.RolloutState != StateIdle || m.PollSeconds != 1 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	etag := rr.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("manifest missing ETag")
+	}
+
+	// Steady-state conditional poll → 304.
+	req = httptest.NewRequest(http.MethodGet, "/v1/manifest?ring=fleet", nil)
+	req.Header.Set("If-None-Match", etag)
+	cond := httptest.NewRecorder()
+	srv.ServeHTTP(cond, req)
+	if cond.Code != http.StatusNotModified {
+		t.Fatalf("steady-state poll: code=%d, want 304", cond.Code)
+	}
+
+	// Any rollout-state change invalidates the ETag.
+	cand := synthBundle(t, 2)
+	doJSON(t, srv, http.MethodPost, "/v1/bundles", cand, nil)
+	if err := ro.Start(HashOf(cand)); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/v1/manifest?ring=canary", nil)
+	req.Header.Set("If-None-Match", etag)
+	after := httptest.NewRecorder()
+	srv.ServeHTTP(after, req)
+	if after.Code != http.StatusOK {
+		t.Fatalf("post-change poll: code=%d, want 200", after.Code)
+	}
+	var m2 Manifest
+	json.Unmarshal(after.Body.Bytes(), &m2)
+	if m2.DesiredHash != HashOf(cand) || m2.RolloutState != StateCanary {
+		t.Fatalf("canary manifest = %+v, want candidate desired", m2)
+	}
+}
+
+func TestHeartbeatEndpointAcksRingAndState(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	doJSON(t, srv, http.MethodPost, "/v1/bundles?stable=true", synthBundle(t, 1), nil)
+
+	hb, _ := json.Marshal(Heartbeat{ReplicaID: "r-a", ActiveHash: "x", CandidateStatus: CandidateNone})
+	var ack HeartbeatAck
+	rr := doJSON(t, srv, http.MethodPost, "/v1/heartbeat", hb, &ack)
+	if rr.Code != http.StatusOK || ack.Ring != RingCanary || ack.RolloutState != StateIdle {
+		t.Fatalf("heartbeat ack: code=%d ack=%+v (single replica must be canary)", rr.Code, ack)
+	}
+	// Missing replica_id is a 400.
+	if rr := doJSON(t, srv, http.MethodPost, "/v1/heartbeat", []byte(`{}`), nil); rr.Code != http.StatusBadRequest {
+		t.Fatalf("empty heartbeat: code=%d, want 400", rr.Code)
+	}
+	// The replica now appears on /debug/rollout.
+	var snap Snapshot
+	doJSON(t, srv, http.MethodGet, "/debug/rollout", nil, &snap)
+	if len(snap.Replicas) != 1 || snap.Replicas[0].ReplicaID != "r-a" {
+		t.Fatalf("rollout snapshot replicas = %+v", snap.Replicas)
+	}
+}
+
+func TestRolloutVerbEndpoints(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	stable, cand := synthBundle(t, 1), synthBundle(t, 2)
+	doJSON(t, srv, http.MethodPost, "/v1/bundles?stable=true", stable, nil)
+	doJSON(t, srv, http.MethodPost, "/v1/bundles", cand, nil)
+
+	body, _ := json.Marshal(map[string]string{"hash": HashOf(cand)})
+	var snap Snapshot
+	if rr := doJSON(t, srv, http.MethodPost, "/v1/rollout/start", body, &snap); rr.Code != http.StatusOK || snap.State != StateCanary {
+		t.Fatalf("rollout start: code=%d state=%s", rr.Code, snap.State)
+	}
+	if rr := doJSON(t, srv, http.MethodPost, "/v1/rollout/promote", nil, &snap); rr.Code != http.StatusOK || snap.State != StateFleet {
+		t.Fatalf("promote: code=%d state=%s", rr.Code, snap.State)
+	}
+	if rr := doJSON(t, srv, http.MethodPost, "/v1/rollout/rollback", nil, &snap); rr.Code != http.StatusOK || snap.State != StateRolledBack {
+		t.Fatalf("rollback: code=%d state=%s", rr.Code, snap.State)
+	}
+	// Verbs in the wrong state answer 409.
+	if rr := doJSON(t, srv, http.MethodPost, "/v1/rollout/rollback", nil, nil); rr.Code != http.StatusConflict {
+		t.Fatalf("double rollback: code=%d, want 409", rr.Code)
+	}
+	// Starting a rollout of an unknown hash answers 409 (valid shape, not
+	// in store) and of a malformed hash 400.
+	body, _ = json.Marshal(map[string]string{"hash": strings.Repeat("cd", 32)})
+	if rr := doJSON(t, srv, http.MethodPost, "/v1/rollout/start", body, nil); rr.Code != http.StatusConflict {
+		t.Fatalf("start unknown hash: code=%d, want 409", rr.Code)
+	}
+	if rr := doJSON(t, srv, http.MethodPost, "/v1/rollout/start", []byte(`{"hash":"zz"}`), nil); rr.Code != http.StatusBadRequest {
+		t.Fatalf("start bad hash: code=%d, want 400", rr.Code)
+	}
+}
+
+func TestControlPlaneHealthzAndMethodEnforcement(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	doJSON(t, srv, http.MethodPost, "/v1/bundles?stable=true", synthBundle(t, 1), nil)
+
+	var h struct {
+		Status  string `json:"status"`
+		Role    string `json:"role"`
+		Desired struct {
+			Hash  string `json:"hash"`
+			State string `json:"rollout_state"`
+		} `json:"desired"`
+		Bundles int `json:"bundles"`
+	}
+	rr := doJSON(t, srv, http.MethodGet, "/healthz", nil, &h)
+	if rr.Code != http.StatusOK || h.Role != "controlplane" || h.Bundles != 1 || h.Desired.Hash == "" {
+		t.Fatalf("healthz: code=%d body=%+v", rr.Code, h)
+	}
+
+	// Wrong method → 405 with Allow header.
+	req := httptest.NewRequest(http.MethodDelete, "/v1/manifest", nil)
+	mr := httptest.NewRecorder()
+	srv.ServeHTTP(mr, req)
+	if mr.Code != http.StatusMethodNotAllowed || mr.Header().Get("Allow") != http.MethodGet {
+		t.Fatalf("method enforcement: code=%d allow=%q", mr.Code, mr.Header().Get("Allow"))
+	}
+
+	// /metrics exposes the ctl families.
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	met := httptest.NewRecorder()
+	srv.ServeHTTP(met, req)
+	for _, fam := range []string{"pmlmpi_ctl_http_requests_total", "pmlmpi_ctl_replicas", "pmlmpi_ctl_rollout_state"} {
+		if !strings.Contains(met.Body.String(), fam) {
+			t.Fatalf("metrics missing family %s", fam)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package controlplane
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/pml-mpi/pmlmpi/pkg/bundle"
+)
+
+// Store is the content-addressed bundle store. Bundles are keyed by the
+// hex SHA-256 of their raw bytes — the exact hash pkg/registry computes
+// for a loaded generation — so a replica that pulls /v1/bundles/{hash}
+// and loads it through its registry ends up with a generation whose
+// Hash() equals the manifest's desired hash, with no trust in the
+// transport required: the replica re-hashes and re-validates on arrival.
+//
+// When configured with a directory, every accepted bundle is also
+// persisted as <hash>.pmlb via write-temp-then-rename, and the directory
+// is reloaded (revalidated) on startup, so a restarted control plane
+// still serves the fleet's history.
+type Store struct {
+	dir string // "" = memory only
+
+	mu   sync.RWMutex
+	data map[string][]byte // hash -> raw bundle bytes
+	seq  map[string]uint64 // hash -> upload sequence number
+	next uint64            // next upload sequence number
+}
+
+// NewStore returns an empty in-memory store. If dir is non-empty it is
+// created if needed and any *.pmlb / *.json files already present are
+// loaded (files that fail validation or whose name disagrees with their
+// content hash are skipped, not fatal — a corrupt artifact must not keep
+// the control plane down).
+func NewStore(dir string) (*Store, error) {
+	s := &Store{dir: dir, data: make(map[string][]byte), seq: make(map[string]uint64), next: 1}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("controlplane: create store dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: read store dir: %w", err)
+	}
+	// Deterministic load order so sequence numbers are stable across
+	// restarts with the same directory contents.
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".pmlb") || strings.HasSuffix(name, ".json") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		if _, _, err := s.Put(data); err != nil {
+			continue
+		}
+	}
+	return s, nil
+}
+
+// HashOf returns the store's content key for raw bundle bytes: hex
+// SHA-256, matching registry.Generation.Hash().
+func HashOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ValidHash reports whether h looks like a hex SHA-256 digest. Used to
+// reject garbage path segments before map lookups.
+func ValidHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Put validates data as a bundle (JSON or PMLB, via bundle.ParseAny),
+// stores it under its content hash, and returns the hash. existed
+// reports whether the exact bytes were already present (idempotent
+// re-upload). When a persistence directory is configured the bundle is
+// also written to disk as <hash>.pmlb before Put returns.
+func (s *Store) Put(data []byte) (hash string, existed bool, err error) {
+	if _, err := bundle.ParseAny(data); err != nil {
+		return "", false, fmt.Errorf("controlplane: reject bundle: %w", err)
+	}
+	hash = HashOf(data)
+
+	s.mu.Lock()
+	if _, ok := s.data[hash]; ok {
+		s.mu.Unlock()
+		return hash, true, nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.data[hash] = cp
+	s.seq[hash] = s.next
+	s.next++
+	s.mu.Unlock()
+
+	if s.dir != "" {
+		if err := writeAtomic(filepath.Join(s.dir, hash+".pmlb"), data); err != nil {
+			return hash, false, fmt.Errorf("controlplane: persist bundle: %w", err)
+		}
+	}
+	return hash, false, nil
+}
+
+// Get returns the raw bytes stored under hash, or ok=false.
+func (s *Store) Get(hash string) (data []byte, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok = s.data[hash]
+	return data, ok
+}
+
+// Seq returns the upload sequence number for hash (0 if absent). The
+// sequence is the store's monotonic generation counter surfaced as
+// Manifest.DesiredGeneration.
+func (s *Store) Seq(hash string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq[hash]
+}
+
+// Len returns the number of distinct bundles held.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Hashes returns all stored hashes ordered by upload sequence.
+func (s *Store) Hashes() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.data))
+	for h := range s.data {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return s.seq[out[i]] < s.seq[out[j]] })
+	return out
+}
+
+// writeAtomic writes data to path via a temp file + rename in the same
+// directory, so a reader never observes a torn bundle.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".pmlb-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package controlplane
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pml-mpi/pmlmpi/pkg/synth"
+)
+
+func synthBundle(t *testing.T, seed int64) []byte {
+	t.Helper()
+	data, err := synth.JSON(synth.Config{Seed: seed})
+	if err != nil {
+		t.Fatalf("synth bundle: %v", err)
+	}
+	return data
+}
+
+func TestStorePutGetRoundtrip(t *testing.T) {
+	s, err := NewStore("")
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	data := synthBundle(t, 1)
+	hash, existed, err := s.Put(data)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if existed {
+		t.Fatal("first Put reported existed=true")
+	}
+	if hash != HashOf(data) {
+		t.Fatalf("Put hash %s != HashOf %s", hash, HashOf(data))
+	}
+	if !ValidHash(hash) {
+		t.Fatalf("Put produced invalid hash %q", hash)
+	}
+	got, ok := s.Get(hash)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Get returned ok=%v, equal=%v", ok, bytes.Equal(got, data))
+	}
+	// Idempotent re-upload.
+	hash2, existed, err := s.Put(data)
+	if err != nil || !existed || hash2 != hash {
+		t.Fatalf("re-Put: hash=%s existed=%v err=%v", hash2, existed, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if s.Seq(hash) != 1 {
+		t.Fatalf("Seq = %d, want 1", s.Seq(hash))
+	}
+}
+
+func TestStoreRejectsGarbage(t *testing.T) {
+	s, _ := NewStore("")
+	if _, _, err := s.Put([]byte("not a bundle")); err == nil {
+		t.Fatal("Put accepted garbage")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after rejected Put, want 0", s.Len())
+	}
+}
+
+func TestStoreSequenceOrdersUploads(t *testing.T) {
+	s, _ := NewStore("")
+	h1, _, _ := s.Put(synthBundle(t, 1))
+	h2, _, _ := s.Put(synthBundle(t, 2))
+	if s.Seq(h1) != 1 || s.Seq(h2) != 2 {
+		t.Fatalf("Seq(h1)=%d Seq(h2)=%d, want 1,2", s.Seq(h1), s.Seq(h2))
+	}
+	hashes := s.Hashes()
+	if len(hashes) != 2 || hashes[0] != h1 || hashes[1] != h2 {
+		t.Fatalf("Hashes = %v, want [%s %s]", hashes, h1, h2)
+	}
+	if s.Seq("deadbeef") != 0 {
+		t.Fatal("Seq for unknown hash should be 0")
+	}
+}
+
+func TestStorePersistsAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	data1, data2 := synthBundle(t, 1), synthBundle(t, 2)
+	h1, _, err := s.Put(data1)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	h2, _, _ := s.Put(data2)
+
+	// Bundles land on disk under their hash.
+	if _, err := os.Stat(filepath.Join(dir, h1+".pmlb")); err != nil {
+		t.Fatalf("persisted file missing: %v", err)
+	}
+	// A corrupt artifact in the directory must not break reload.
+	os.WriteFile(filepath.Join(dir, "garbage.pmlb"), []byte("junk"), 0o644)
+
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("reload NewStore: %v", err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reloaded Len = %d, want 2", s2.Len())
+	}
+	for _, h := range []string{h1, h2} {
+		if _, ok := s2.Get(h); !ok {
+			t.Fatalf("reloaded store missing %s", short(h))
+		}
+	}
+}
+
+func TestValidHash(t *testing.T) {
+	good := HashOf([]byte("x"))
+	cases := []struct {
+		h    string
+		want bool
+	}{
+		{good, true},
+		{"", false},
+		{"abc", false},
+		{good[:63] + "G", false},
+		{good[:63] + "A", false}, // uppercase hex is not canonical
+	}
+	for _, c := range cases {
+		if got := ValidHash(c.h); got != c.want {
+			t.Errorf("ValidHash(%q) = %v, want %v", c.h, got, c.want)
+		}
+	}
+}

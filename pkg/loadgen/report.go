@@ -40,6 +40,34 @@ type Report struct {
 	// Feedback tallies the oracle-labeled /v1/feedback side stream when
 	// the run emits one (FeedbackFraction > 0).
 	Feedback *FeedbackResults `json:"feedback,omitempty"`
+	// Gateway is the per-replica routing view when the target is a fleet
+	// gateway (TargetMode "gateway"): run-window deltas of the gateway's
+	// /debug/replicas ledger.
+	Gateway *GatewayResults `json:"gateway,omitempty"`
+}
+
+// GatewayResults is the gateway-mode routing evidence: how the run's
+// requests spread across the replica set, plus the fleet-wide selection
+// tally (the sum over replicas — comparable to a single-server run's
+// server_delta.selections_by_collective for the same spec and seed).
+type GatewayResults struct {
+	Replicas []GatewayReplica `json:"replicas"`
+	// SelectionsByCollective aggregates the per-replica deltas; with every
+	// request answered it equals the single-server tally for the same
+	// sequence.
+	SelectionsByCollective map[string]uint64 `json:"selections_by_collective,omitempty"`
+}
+
+// GatewayReplica is one replica's run-window delta from /debug/replicas.
+type GatewayReplica struct {
+	ID      string `json:"id"`
+	Healthy bool   `json:"healthy"`
+	// Requests/Errors are proxy attempts the gateway sent this replica
+	// during the run; Share is this replica's fraction of all attempts.
+	Requests               uint64            `json:"requests"`
+	Errors                 uint64            `json:"errors"`
+	Share                  float64           `json:"share"`
+	SelectionsByCollective map[string]uint64 `json:"selections_by_collective,omitempty"`
 }
 
 // FeedbackResults is the client-side ledger of the feedback emission
@@ -87,6 +115,7 @@ type ModelHealthReport struct {
 // identical workloads.
 type RunConfig struct {
 	SpecName         string  `json:"spec_name"`
+	TargetMode       string  `json:"target_mode,omitempty"`
 	Seed             int64   `json:"seed"`
 	SequenceHash     string  `json:"sequence_hash"`
 	QPS              float64 `json:"target_qps"`

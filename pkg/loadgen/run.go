@@ -16,10 +16,24 @@ import (
 	"github.com/pml-mpi/pmlmpi/pkg/perfmodel"
 )
 
+// Target modes: what kind of process BaseURL points at. The request
+// stream is identical either way — same spec, same seed, same sequence
+// hash — only the evidence scraped around the run differs.
+const (
+	// ModeServer targets a single pmlmpi-server (the default).
+	ModeServer = "server"
+	// ModeGateway targets a pmlmpi-gateway fronting a replica fleet: the
+	// run additionally diffs the gateway's /debug/replicas ledger into a
+	// per-replica routing report.
+	ModeGateway = "gateway"
+)
+
 // Options configures one load-generation run.
 type Options struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// TargetMode is ModeServer or ModeGateway; empty means ModeServer.
+	TargetMode string
 	// Spec is the workload mix; the zero value means DefaultSpec.
 	Spec *Spec
 	// Seed drives every random choice. Same seed + same spec = identical
@@ -51,6 +65,9 @@ type Options struct {
 
 func (o *Options) withDefaults() Options {
 	out := *o
+	if out.TargetMode == "" {
+		out.TargetMode = ModeServer
+	}
 	if out.Spec == nil {
 		s := DefaultSpec()
 		out.Spec = &s
@@ -105,6 +122,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	if opts.FeedbackFraction < 0 || opts.FeedbackFraction > 1 {
 		return nil, fmt.Errorf("feedback fraction must be in [0,1], got %v", opts.FeedbackFraction)
 	}
+	if opts.TargetMode != ModeServer && opts.TargetMode != ModeGateway {
+		return nil, fmt.Errorf("target mode must be %q or %q, got %q", ModeServer, ModeGateway, opts.TargetMode)
+	}
 	p := newProbe(opts.BaseURL, opts.Client)
 
 	healthBefore, err := p.health(ctx)
@@ -117,6 +137,13 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	metricsBefore, err := p.metrics(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("scrape /metrics before run: %w", err)
+	}
+	var gwBefore []gatewayReplicaRow
+	if opts.TargetMode == ModeGateway {
+		gwBefore, err = p.gatewayReplicas(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("scrape /debug/replicas before run (gateway mode): %w", err)
+		}
 	}
 
 	total := int(math.Ceil(opts.QPS * (opts.Warmup + opts.Duration).Seconds()))
@@ -166,6 +193,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		GeneratedAt: end.UTC().Format(time.RFC3339),
 		Config: RunConfig{
 			SpecName:         spec.Name,
+			TargetMode:       opts.TargetMode,
 			Seed:             opts.Seed,
 			SequenceHash:     hash,
 			QPS:              opts.QPS,
@@ -218,6 +246,13 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	if gens, err := p.decisionsByGeneration(ctx); err == nil && len(gens) > 0 {
 		rep.Delta.RecentDecisionsByGeneration = gens
+	}
+	if opts.TargetMode == ModeGateway {
+		if gwAfter, err := p.gatewayReplicas(ctx); err == nil {
+			rep.Gateway = gatewayResults(gwBefore, gwAfter)
+		} else {
+			opts.Logf("loadgen: post-run /debug/replicas scrape failed: %v", err)
+		}
 	}
 	return rep, runErr
 }

@@ -122,6 +122,79 @@ func (p *probe) decisionsByGeneration(ctx context.Context) (map[string]uint64, e
 	return tally, nil
 }
 
+// gatewayReplicaRow mirrors one row of the gateway's /debug/replicas
+// ledger (cumulative since gateway start; the report diffs two scrapes).
+type gatewayReplicaRow struct {
+	ID                     string            `json:"id"`
+	Healthy                bool              `json:"healthy"`
+	Requests               uint64            `json:"requests"`
+	Errors                 uint64            `json:"errors"`
+	SelectionsByCollective map[string]uint64 `json:"selections_by_collective"`
+}
+
+// gatewayReplicas scrapes /debug/replicas. Unlike the optional debug
+// surfaces, gateway mode treats a failure here as fatal before the run:
+// without the ledger there is no routing evidence to report.
+func (p *probe) gatewayReplicas(ctx context.Context) ([]gatewayReplicaRow, error) {
+	var resp struct {
+		Replicas []gatewayReplicaRow `json:"replicas"`
+	}
+	if err := p.getJSON(ctx, "/debug/replicas", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Replicas, nil
+}
+
+// gatewayResults diffs two /debug/replicas scrapes into the report's
+// gateway section: per-replica request/error/selection deltas, each
+// replica's share of proxy attempts, and the fleet-wide selection tally.
+func gatewayResults(before, after []gatewayReplicaRow) *GatewayResults {
+	prev := make(map[string]gatewayReplicaRow, len(before))
+	for _, r := range before {
+		prev[r.ID] = r
+	}
+	out := &GatewayResults{}
+	var total uint64
+	for _, r := range after {
+		b := prev[r.ID]
+		row := GatewayReplica{
+			ID:       r.ID,
+			Healthy:  r.Healthy,
+			Requests: subU64(r.Requests, b.Requests),
+			Errors:   subU64(r.Errors, b.Errors),
+		}
+		for c, n := range r.SelectionsByCollective {
+			d := subU64(n, b.SelectionsByCollective[c])
+			if d == 0 {
+				continue
+			}
+			if row.SelectionsByCollective == nil {
+				row.SelectionsByCollective = make(map[string]uint64)
+			}
+			row.SelectionsByCollective[c] = d
+			if out.SelectionsByCollective == nil {
+				out.SelectionsByCollective = make(map[string]uint64)
+			}
+			out.SelectionsByCollective[c] += d
+		}
+		total += row.Requests
+		out.Replicas = append(out.Replicas, row)
+	}
+	if total > 0 {
+		for i := range out.Replicas {
+			out.Replicas[i].Share = float64(out.Replicas[i].Requests) / float64(total)
+		}
+	}
+	return out
+}
+
+func subU64(a, b uint64) uint64 {
+	if a <= b {
+		return 0
+	}
+	return a - b
+}
+
 // metricsSnapshot is the scraped subset of /metrics the report diffs:
 // decision-cache traffic, per-collective selection counts, and the merged
 // pmlmpi_select_duration_seconds histogram.

@@ -1,0 +1,197 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/pml-mpi/pmlmpi/pkg/controlplane"
+	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/registry"
+)
+
+// newCtl spins up a real control plane over httptest with one stable
+// bundle seeded, returning the server URL, the rollout controller, and
+// the stable hash.
+func newCtl(t *testing.T) (string, *controlplane.Store, *controlplane.Rollout, string) {
+	t.Helper()
+	store, _ := controlplane.NewStore("")
+	ro := controlplane.NewRollout(store, controlplane.RolloutConfig{})
+	srv := controlplane.NewServer(store, ro, obs.NewForTest(), controlplane.ServerConfig{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	stable, _, err := store.Put(bundleJSON(t, 1))
+	if err != nil {
+		t.Fatalf("seed stable bundle: %v", err)
+	}
+	if err := ro.SetStable(stable); err != nil {
+		t.Fatalf("SetStable: %v", err)
+	}
+	return ts.URL, store, ro, stable
+}
+
+func newAgent(t *testing.T, url string, reg *registry.Registry, o *obs.Obs) *Agent {
+	t.Helper()
+	a, err := NewAgent(o, AgentConfig{
+		ControlPlane: url,
+		ReplicaID:    "r-test",
+		Registry:     reg,
+		PollInterval: 10 * time.Millisecond,
+		StageSoak:    -1, // no shadow configured: promote immediately
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	return a
+}
+
+func TestAgentBootstrapsFromControlPlane(t *testing.T) {
+	url, _, ro, stable := newCtl(t)
+	o := obs.NewForTest()
+	reg := registry.New(o, registry.Config{})
+	a := newAgent(t, url, reg, o)
+
+	ctx := context.Background()
+	// Two ticks: the desired-hash debounce needs two observations.
+	a.Tick(ctx)
+	a.Tick(ctx)
+
+	g := reg.ActiveGeneration()
+	if g == nil || g.Hash() != stable {
+		t.Fatalf("active generation = %v, want stable hash %s", g, stable[:12])
+	}
+	// The heartbeat registered us with the control plane.
+	snap := ro.Snapshot()
+	if len(snap.Replicas) != 1 || snap.Replicas[0].ReplicaID != "r-test" {
+		t.Fatalf("control plane replicas = %+v", snap.Replicas)
+	}
+	if snap.Replicas[0].Heartbeat.ActiveHash != stable {
+		t.Fatalf("heartbeat active hash = %s, want stable", snap.Replicas[0].Heartbeat.ActiveHash[:12])
+	}
+	st := a.Status()
+	if st.DesiredHash != stable || st.Ring != controlplane.RingCanary {
+		t.Fatalf("Status = %+v, want desired=stable ring=canary", st)
+	}
+	// Steady state: further polls are conditional 304s.
+	before := a.polls.Value("not_modified")
+	a.Tick(ctx)
+	if a.polls.Value("not_modified") != before+1 {
+		t.Fatal("steady-state poll was not a 304")
+	}
+}
+
+func TestAgentFollowsRolloutAndPromotesResidentOnRevert(t *testing.T) {
+	url, store, ro, stable := newCtl(t)
+	o := obs.NewForTest()
+	reg := registry.New(o, registry.Config{})
+	a := newAgent(t, url, reg, o)
+	ctx := context.Background()
+	a.Tick(ctx)
+	a.Tick(ctx)
+
+	// Roll out a new bundle. This agent is the whole fleet, so its
+	// confirmations drive the rollout to done.
+	cand, _, err := store.Put(bundleJSON(t, 2))
+	if err != nil {
+		t.Fatalf("Put candidate: %v", err)
+	}
+	if err := ro.Start(cand); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		a.Tick(ctx)
+	}
+	if g := reg.ActiveGeneration(); g == nil || g.Hash() != cand {
+		t.Fatal("agent did not adopt the rolled-out candidate")
+	}
+	if s := ro.Snapshot(); s.State != controlplane.StateDone || s.StableHash != cand {
+		t.Fatalf("rollout state = %s stable = %s, want done/%s", s.State, s.StableHash[:12], cand[:12])
+	}
+
+	// Revert: a rollout back to the original hash must reuse the resident
+	// generation — no network pull.
+	pullsBefore := a.pulls.Value("ok")
+	if err := ro.Start(stable); err != nil {
+		t.Fatalf("Start revert: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		a.Tick(ctx)
+	}
+	if g := reg.ActiveGeneration(); g == nil || g.Hash() != stable {
+		t.Fatal("agent did not revert to the stable hash")
+	}
+	if a.pulls.Value("ok") != pullsBefore {
+		t.Fatalf("revert re-pulled the bundle (%v pulls, had %v)", a.pulls.Value("ok"), pullsBefore)
+	}
+}
+
+// TestAgentRejectsHashMismatch serves bytes whose content hash disagrees
+// with the manifest's desired hash — a corrupt or hostile control plane —
+// and asserts the agent never stages them.
+func TestAgentRejectsHashMismatch(t *testing.T) {
+	good := bundleJSON(t, 1)
+	evil := bundleJSON(t, 2)
+	goodHash := controlplane.HashOf(good)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/manifest", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(controlplane.Manifest{
+			Ring: controlplane.RingFleet, DesiredHash: goodHash, RolloutState: controlplane.StateIdle,
+		})
+	})
+	mux.HandleFunc("/v1/bundles/", func(w http.ResponseWriter, r *http.Request) {
+		w.Write(evil) // wrong bytes for the advertised hash
+	})
+	mux.HandleFunc("/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(controlplane.HeartbeatAck{Ring: controlplane.RingFleet})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	o := obs.NewForTest()
+	reg := registry.New(o, registry.Config{})
+	a := newAgent(t, ts.URL, reg, o)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		a.Tick(ctx)
+	}
+	if reg.ActiveGeneration() != nil {
+		t.Fatal("agent promoted a bundle whose hash did not match the manifest")
+	}
+	if a.pulls.Value("invalid") == 0 {
+		t.Fatal("hash mismatch was not counted as an invalid pull")
+	}
+}
+
+// TestAgentBacksOffOnControlPlaneErrors verifies failed polls arm the
+// shared backoff (skipping polls until the deadline) and that recovery
+// resets it.
+func TestAgentBacksOffOnControlPlaneErrors(t *testing.T) {
+	o := obs.NewForTest()
+	reg := registry.New(o, registry.Config{})
+	a, err := NewAgent(o, AgentConfig{
+		ControlPlane: "http://127.0.0.1:1", // nothing listens here
+		ReplicaID:    "r-test",
+		Registry:     reg,
+		PollInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	ctx := context.Background()
+	a.Tick(ctx)
+	if a.polls.Value("error") != 1 {
+		t.Fatalf("poll errors = %v, want 1", a.polls.Value("error"))
+	}
+	if a.Status().LastError == "" {
+		t.Fatal("LastError empty after failed poll")
+	}
+	// The next tick lands inside the backoff window: no second attempt.
+	a.Tick(ctx)
+	if a.polls.Value("error") != 1 {
+		t.Fatalf("poll errors = %v during backoff window, want still 1", a.polls.Value("error"))
+	}
+}

@@ -1,4 +1,4 @@
-package registry
+package replica
 
 import (
 	"context"
@@ -6,26 +6,27 @@ import (
 	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/registry"
 )
 
-// Watcher polls a bundle file and feeds changed content through the
-// registry: mtime+size change detection, a one-poll debounce (the file must
-// look identical on two consecutive polls before it is read, so a writer
-// mid-copy is never loaded), content-hash deduplication (via the registry),
-// and auto-promotion of successfully staged generations. Invalid content is
-// rejected and remembered, so a bad artifact is logged once, never retried
-// in a loop, and never disturbs the active generation.
-type Watcher struct {
-	reg      *Registry
+// FileWatcher polls a bundle file and feeds changed content through the
+// registry: mtime+size change detection, the shared two-poll Debounce
+// (the file must look identical on two consecutive polls before it is
+// read, so a writer mid-copy is never loaded), content-hash
+// deduplication (via the registry), and auto-promotion of successfully
+// staged generations. Invalid content is rejected and remembered, so a
+// bad artifact is logged once, never retried in a loop, and never
+// disturbs the active generation.
+//
+// This is the PR 4 `-bundle-watch` poller, relocated from pkg/registry
+// so that the local-disk and network pollers share one debounce
+// implementation. Metric names are unchanged.
+type FileWatcher struct {
+	reg      *registry.Registry
 	o        *obs.Obs
 	path     string
 	interval time.Duration
-
-	// lastApplied is the stat signature of the content most recently
-	// loaded (or rejected); pending is a changed signature awaiting its
-	// stability confirmation on the next poll.
-	lastApplied fileSig
-	pending     *fileSig
+	deb      Debounce[fileSig]
 
 	polls   *obs.Counter
 	reloads *obs.Counter // {status: promoted|invalid|duplicate}
@@ -37,14 +38,14 @@ type fileSig struct {
 	size    int64
 }
 
-// NewWatcher builds a watcher over path with the given poll interval
+// NewFileWatcher builds a watcher over path with the given poll interval
 // (values below 100ms are clamped up to keep stat traffic sane; tests use
 // SetInterval to go faster).
-func NewWatcher(reg *Registry, o *obs.Obs, path string, interval time.Duration) *Watcher {
+func NewFileWatcher(reg *registry.Registry, o *obs.Obs, path string, interval time.Duration) *FileWatcher {
 	if interval < 100*time.Millisecond {
 		interval = 100 * time.Millisecond
 	}
-	return &Watcher{
+	return &FileWatcher{
 		reg:      reg,
 		o:        o,
 		path:     path,
@@ -57,13 +58,13 @@ func NewWatcher(reg *Registry, o *obs.Obs, path string, interval time.Duration) 
 }
 
 // SetInterval overrides the poll interval without clamping — for tests.
-func (w *Watcher) SetInterval(d time.Duration) { w.interval = d }
+func (w *FileWatcher) SetInterval(d time.Duration) { w.interval = d }
 
 // Run polls until ctx is cancelled. The first stable sighting of the file
 // goes through the registry like any change; content the server already
 // loaded at startup dedups by hash into a no-op, so there is no startup
 // race between the initial load and a concurrent overwrite.
-func (w *Watcher) Run(ctx context.Context) {
+func (w *FileWatcher) Run(ctx context.Context) {
 	w.o.Logger.Info("bundle watcher started",
 		"path", w.path, "interval", w.interval.String())
 	t := time.NewTicker(w.interval)
@@ -79,29 +80,19 @@ func (w *Watcher) Run(ctx context.Context) {
 	}
 }
 
-func (w *Watcher) poll() {
+func (w *FileWatcher) poll() {
 	w.polls.Inc()
 	fi, err := os.Stat(w.path)
 	if err != nil {
 		// A transiently missing file (atomic-rename writers) is not a
 		// change; just wait for it to reappear.
-		w.pending = nil
+		w.deb.Clear()
 		return
 	}
-	sig := fileSig{modTime: fi.ModTime(), size: fi.Size()}
-	if sig == w.lastApplied {
-		w.pending = nil
-		return
-	}
-	if w.pending == nil || *w.pending != sig {
-		// First sight of this change (or it is still mutating): wait one
-		// more interval for the file to settle.
-		w.pending = &sig
+	if !w.deb.Observe(fileSig{modTime: fi.ModTime(), size: fi.Size()}) {
 		return
 	}
 	// Stable across two polls: adopt it.
-	w.pending = nil
-	w.lastApplied = sig
 	data, err := os.ReadFile(w.path)
 	if err != nil {
 		w.reloads.Inc("invalid")
@@ -110,8 +101,8 @@ func (w *Watcher) poll() {
 	}
 	gen, err := w.reg.LoadData(data, w.path)
 	if err != nil {
-		// Rejected: the active generation is untouched, and lastApplied
-		// already records this content so it is not retried every poll.
+		// Rejected: the active generation is untouched, and the debounce
+		// already recorded this content so it is not retried every poll.
 		w.reloads.Inc("invalid")
 		w.o.Logger.Warn("bundle watcher rejected changed bundle",
 			"path", w.path, "error", err.Error())

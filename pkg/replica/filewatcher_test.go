@@ -1,4 +1,4 @@
-package registry
+package replica
 
 import (
 	"context"
@@ -8,7 +8,18 @@ import (
 	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
+	"github.com/pml-mpi/pmlmpi/pkg/registry"
+	"github.com/pml-mpi/pmlmpi/pkg/synth"
 )
+
+func bundleJSON(t *testing.T, seed int64) []byte {
+	t.Helper()
+	data, err := synth.JSON(synth.Config{Seed: seed})
+	if err != nil {
+		t.Fatalf("synth.JSON: %v", err)
+	}
+	return data
+}
 
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
@@ -23,7 +34,7 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 	t.Fatalf("timed out waiting for %s", what)
 }
 
-func TestWatcherPromotesChangedBundleAndRejectsGarbage(t *testing.T) {
+func TestFileWatcherPromotesChangedBundleAndRejectsGarbage(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bundle.json")
 	if err := os.WriteFile(path, bundleJSON(t, 1), 0o644); err != nil {
@@ -31,7 +42,7 @@ func TestWatcherPromotesChangedBundleAndRejectsGarbage(t *testing.T) {
 	}
 
 	o := obs.NewForTest()
-	r := New(o, Config{})
+	r := registry.New(o, registry.Config{})
 	g1, err := r.Load(path)
 	if err != nil {
 		t.Fatalf("initial load: %v", err)
@@ -40,7 +51,7 @@ func TestWatcherPromotesChangedBundleAndRejectsGarbage(t *testing.T) {
 		t.Fatalf("initial promote: %v", err)
 	}
 
-	w := NewWatcher(r, o, path, time.Second)
+	w := NewFileWatcher(r, o, path, time.Second)
 	w.SetInterval(5 * time.Millisecond)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -79,18 +90,18 @@ func TestWatcherPromotesChangedBundleAndRejectsGarbage(t *testing.T) {
 	})
 }
 
-func TestWatcherIgnoresUnchangedFile(t *testing.T) {
+func TestFileWatcherIgnoresUnchangedFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bundle.json")
 	if err := os.WriteFile(path, bundleJSON(t, 1), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	o := obs.NewForTest()
-	r := New(o, Config{})
+	r := registry.New(o, registry.Config{})
 	g, _ := r.Load(path)
 	r.Promote(g.ID())
 
-	w := NewWatcher(r, o, path, time.Second)
+	w := NewFileWatcher(r, o, path, time.Second)
 	w.SetInterval(2 * time.Millisecond)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -1,0 +1,78 @@
+// Package replica turns a PML-MPI server into a fleet member. It holds
+// the change-detection primitives every bundle poller shares (the
+// two-observation Debounce and an error Backoff), the local-disk
+// FileWatcher (moved here from pkg/registry — the PR 4 `-bundle-watch`
+// poller), and the network Agent that extends the same poll-debounce-
+// stage-promote loop across HTTP: poll the control-plane manifest by
+// generation hash, pull-verify-stage new bundles through the registry,
+// soak them against shadow evaluation, and report heartbeats.
+package replica
+
+import "time"
+
+// Debounce is the shared two-observation stability filter: a new
+// signature must be seen on two consecutive observations before it is
+// adopted, so a source mid-change (a writer mid-copy, a manifest flapping
+// between revisions) is never acted on. The zero value is ready to use;
+// the zero signature value means "nothing adopted yet".
+type Debounce[T comparable] struct {
+	applied T
+	pending *T
+}
+
+// Observe feeds one observation and reports whether sig should be adopted
+// now: it differs from the last adopted signature and was identical on
+// the previous observation. Adopting updates the applied signature, so a
+// given change fires exactly once.
+func (d *Debounce[T]) Observe(sig T) bool {
+	if sig == d.applied {
+		d.pending = nil
+		return false
+	}
+	if d.pending == nil || *d.pending != sig {
+		d.pending = &sig
+		return false
+	}
+	d.pending = nil
+	d.applied = sig
+	return true
+}
+
+// Clear drops any half-confirmed observation — for a transiently missing
+// source (atomic-rename writers, a control plane mid-restart) that should
+// restart its stability count when it reappears.
+func (d *Debounce[T]) Clear() { d.pending = nil }
+
+// Applied returns the last adopted signature.
+func (d *Debounce[T]) Applied() T { return d.applied }
+
+// Backoff is the shared failure backoff for pollers: exponential from
+// Base to Max, reset on success. The zero value backs off from 1s to 30s.
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+	cur  time.Duration
+}
+
+// Next returns the delay to wait after one more consecutive failure.
+func (b *Backoff) Next() time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = time.Second
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	if b.cur <= 0 {
+		b.cur = base
+	} else {
+		b.cur *= 2
+	}
+	if b.cur > max {
+		b.cur = max
+	}
+	return b.cur
+}
+
+// Reset clears the failure streak after a success.
+func (b *Backoff) Reset() { b.cur = 0 }

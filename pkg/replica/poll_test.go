@@ -1,0 +1,76 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDebounceRequiresTwoObservations(t *testing.T) {
+	var d Debounce[string]
+	if d.Observe("a") {
+		t.Fatal("adopted on first sight")
+	}
+	if !d.Observe("a") {
+		t.Fatal("did not adopt after two identical observations")
+	}
+	if d.Applied() != "a" {
+		t.Fatalf("Applied = %q, want a", d.Applied())
+	}
+	// Re-observing the adopted value never fires again.
+	if d.Observe("a") || d.Observe("a") {
+		t.Fatal("re-adopted an unchanged value")
+	}
+}
+
+func TestDebounceRestartsOnFlappingValue(t *testing.T) {
+	var d Debounce[string]
+	d.Observe("a")
+	// The value changed mid-confirmation: the stability count restarts.
+	if d.Observe("b") {
+		t.Fatal("adopted a flapping value")
+	}
+	if !d.Observe("b") {
+		t.Fatal("did not adopt after b stabilized")
+	}
+	if d.Applied() != "b" {
+		t.Fatalf("Applied = %q, want b", d.Applied())
+	}
+}
+
+func TestDebounceClearDropsPending(t *testing.T) {
+	var d Debounce[int]
+	d.Observe(7)
+	d.Clear() // source vanished mid-confirmation
+	if d.Observe(7) {
+		t.Fatal("adopted after Clear without a fresh double observation")
+	}
+	if !d.Observe(7) {
+		t.Fatal("did not adopt after re-confirmation")
+	}
+}
+
+func TestBackoffDoublesToMaxAndResets(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: 10 * time.Second}
+	want := []time.Duration{1, 2, 4, 8, 10, 10}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Second {
+			t.Fatalf("Next #%d = %v, want %v", i, got, w*time.Second)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != time.Second {
+		t.Fatalf("Next after Reset = %v, want 1s", got)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Next(); got != time.Second {
+		t.Fatalf("zero-value first Next = %v, want 1s", got)
+	}
+	for i := 0; i < 10; i++ {
+		if got := b.Next(); got > 30*time.Second {
+			t.Fatalf("zero-value backoff exceeded 30s: %v", got)
+		}
+	}
+}

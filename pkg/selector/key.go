@@ -3,6 +3,7 @@ package selector
 import (
 	"encoding/binary"
 	"math"
+	"sort"
 )
 
 // featureKey derives the decision-cache key: the model generation id (so a
@@ -32,4 +33,64 @@ func featureKey(gen uint64, collective string, x []float64, quantum float64) str
 		buf = append(buf, tmp[:]...)
 	}
 	return string(buf)
+}
+
+// PartitionKey hashes a selection request to a stable 64-bit partition
+// key: the collective name, then each feature (sorted by name) quantized
+// with exactly the same rule as the decision-cache key, folded through
+// FNV-1a and finalized with splitmix64. Unlike featureKey it excludes
+// the model generation — fleet-wide request partitioning must survive
+// restarts and hot-swaps — and it is pure arithmetic on the wire values,
+// so every gateway instance computes the same key for the same request.
+// A quantum <= 0 falls back to DefaultCacheQuantum.
+func PartitionKey(collective string, features map[string]float64, quantum float64) uint64 {
+	if quantum <= 0 {
+		quantum = DefaultCacheQuantum
+	}
+	names := make([]string, 0, len(features))
+	for name := range features {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(collective); i++ {
+		h = (h ^ uint64(collective[i])) * fnvPrime
+	}
+	h = (h ^ 0) * fnvPrime // NUL separator, as in featureKey
+	var tmp [8]byte
+	for _, name := range names {
+		for i := 0; i < len(name); i++ {
+			h = (h ^ uint64(name[i])) * fnvPrime
+		}
+		h = (h ^ 0) * fnvPrime
+		v := features[name]
+		var q uint64
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			q = math.Float64bits(v)
+		} else {
+			q = uint64(int64(math.Round(v / quantum)))
+		}
+		binary.LittleEndian.PutUint64(tmp[:], q)
+		for _, b := range tmp {
+			h = (h ^ uint64(b)) * fnvPrime
+		}
+	}
+	return Mix64(h)
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit bit
+// mixer. Exported for the gateway's rendezvous hashing, which combines
+// partition keys with per-replica seeds.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }

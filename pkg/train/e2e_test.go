@@ -10,6 +10,7 @@ import (
 	"github.com/pml-mpi/pmlmpi/pkg/obs"
 	"github.com/pml-mpi/pmlmpi/pkg/perfmodel"
 	"github.com/pml-mpi/pmlmpi/pkg/registry"
+	"github.com/pml-mpi/pmlmpi/pkg/replica"
 	"github.com/pml-mpi/pmlmpi/pkg/selector"
 	"github.com/pml-mpi/pmlmpi/pkg/train"
 )
@@ -57,7 +58,7 @@ func TestEndToEndTrainWatchServe(t *testing.T) {
 
 	o := obs.NewForTest()
 	reg := registry.New(o, registry.Config{})
-	w := registry.NewWatcher(reg, o, path, time.Second)
+	w := replica.NewFileWatcher(reg, o, path, time.Second)
 	w.SetInterval(2 * time.Millisecond)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
