@@ -172,6 +172,9 @@ func (r *Rollout) Rollback(reason string) error {
 func (r *Rollout) rollbackLocked(reason string) {
 	r.state = StateRolledBack
 	r.reason = reason
+	// The rollout settled: fold replicas that joined mid-flight (parked in
+	// the fleet ring) into the normal deterministic split.
+	r.assignRingsLocked()
 	r.rev++
 }
 
@@ -179,13 +182,15 @@ func (r *Rollout) finishLocked() {
 	r.stable = r.candidate
 	r.candidate = ""
 	r.state = StateDone
+	r.assignRingsLocked()
 }
 
 // Observe ingests one heartbeat: registers/refreshes the replica,
-// recomputes ring assignment on membership change, applies the rollback
-// gates, and auto-advances the state machine when every in-scope replica
-// has confirmed the candidate. It returns the replica's authoritative
-// ring assignment.
+// recomputes ring assignment on membership change (frozen while a
+// rollout is in flight — new replicas park in the fleet ring until it
+// settles), applies the rollback gates, and auto-advances the state
+// machine when every in-scope replica has confirmed the candidate. It
+// returns the replica's authoritative ring assignment.
 func (r *Rollout) Observe(hb Heartbeat) (ring string, state string) {
 	now := r.cfg.Now()
 	r.mu.Lock()
@@ -195,7 +200,18 @@ func (r *Rollout) Observe(hb Heartbeat) (ring string, state string) {
 	if !known {
 		st = &replicaState{}
 		r.replicas[hb.ReplicaID] = st
-		r.assignRingsLocked()
+		if r.state == StateCanary || r.state == StateFleet {
+			// Ring assignments are frozen while a rollout is in flight: a
+			// lexicographic re-split could pull an existing fleet replica
+			// into the canary ring mid-stage (it would immediately start
+			// pulling the in-flight candidate) or demote a canary that
+			// already promoted it (reverting to stable and churning the
+			// promotion gates). Newly joined replicas park in the fleet
+			// ring; the full re-split happens when the rollout settles.
+			r.rings[hb.ReplicaID] = RingFleet
+		} else {
+			r.assignRingsLocked()
+		}
 		r.rev++
 	}
 	st.hb = hb

@@ -79,6 +79,72 @@ func TestRingAssignmentIsRankBasedAndDeterministic(t *testing.T) {
 	}
 }
 
+// TestRingAssignmentFrozenMidRollout: a replica joining while a rollout
+// is in flight must not trigger a re-split — that could pull an existing
+// fleet replica into the canary ring (exposing it to the in-flight
+// candidate) or demote a canary that already promoted it. Joiners park
+// in the fleet ring; the deterministic split resumes once the rollout
+// settles.
+func TestRingAssignmentFrozenMidRollout(t *testing.T) {
+	clock := newFakeClock()
+	ro, _, stable, cand := newTestRollout(t, clock)
+	register(ro, stable, "r-b", "r-c") // 2 replicas at 25% → 1 canary: r-b
+	if ro.RingOf("r-b") != RingCanary || ro.RingOf("r-c") != RingFleet {
+		t.Fatalf("pre-rollout rings: r-b=%s r-c=%s, want canary/fleet", ro.RingOf("r-b"), ro.RingOf("r-c"))
+	}
+	if err := ro.Start(cand); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	// r-a sorts before every existing id; a naive re-split would make it
+	// the canary and demote r-b.
+	ring, _ := ro.Observe(Heartbeat{ReplicaID: "r-a", ActiveHash: stable, CandidateStatus: CandidateNone})
+	if ring != RingFleet {
+		t.Fatalf("mid-rollout joiner assigned ring %s, want fleet", ring)
+	}
+	if ro.RingOf("r-b") != RingCanary || ro.RingOf("r-c") != RingFleet {
+		t.Fatalf("mid-rollout join churned rings: r-b=%s r-c=%s", ro.RingOf("r-b"), ro.RingOf("r-c"))
+	}
+	// The joiner's manifest still desires stable: it is never exposed to
+	// the in-flight candidate.
+	if m := ro.Manifest(RingFleet); m.DesiredHash != stable {
+		t.Fatalf("fleet manifest desires %s mid-canary, want stable", short(m.DesiredHash))
+	}
+
+	// Settling the rollout folds the joiner into the normal split: r-a is
+	// now the lexicographically first of three.
+	if err := ro.Rollback("test settle"); err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if ro.RingOf("r-a") != RingCanary || ro.RingOf("r-b") != RingFleet {
+		t.Fatalf("post-settle rings: r-a=%s r-b=%s, want canary/fleet", ro.RingOf("r-a"), ro.RingOf("r-b"))
+	}
+
+	// The freeze also holds through the fleet stage and a promoted finish.
+	if err := ro.Start(cand); err != nil {
+		t.Fatalf("second Start: %v", err)
+	}
+	ro.Observe(Heartbeat{ReplicaID: "a-0", ActiveHash: stable, CandidateStatus: CandidateNone})
+	if ro.RingOf("a-0") != RingFleet || ro.RingOf("r-a") != RingCanary {
+		t.Fatalf("second mid-rollout join churned rings: a-0=%s r-a=%s", ro.RingOf("a-0"), ro.RingOf("r-a"))
+	}
+	if err := ro.Promote(); err != nil { // canary → fleet
+		t.Fatalf("Promote: %v", err)
+	}
+	ro.Observe(Heartbeat{ReplicaID: "a-1", ActiveHash: stable, CandidateStatus: CandidateNone})
+	if ro.RingOf("a-1") != RingFleet {
+		t.Fatalf("fleet-stage joiner assigned ring %s, want fleet", ro.RingOf("a-1"))
+	}
+	if err := ro.Promote(); err != nil { // fleet → done
+		t.Fatalf("Promote to done: %v", err)
+	}
+	// 5 replicas at 25% → ceil(1.25) = 2 canary: a-0, a-1.
+	if ro.RingOf("a-0") != RingCanary || ro.RingOf("a-1") != RingCanary || ro.RingOf("r-a") != RingFleet {
+		t.Fatalf("post-done rings: a-0=%s a-1=%s r-a=%s, want canary/canary/fleet",
+			ro.RingOf("a-0"), ro.RingOf("a-1"), ro.RingOf("r-a"))
+	}
+}
+
 func TestStagedRolloutCanaryThenFleetThenDone(t *testing.T) {
 	clock := newFakeClock()
 	ro, _, stable, cand := newTestRollout(t, clock)

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/bundle"
 )
@@ -50,21 +51,39 @@ func NewStore(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("controlplane: read store dir: %w", err)
 	}
-	// Deterministic load order so sequence numbers are stable across
-	// restarts with the same directory contents.
-	names := make([]string, 0, len(entries))
+	// Reload in modification-time order (name as tiebreak): files are
+	// written at upload time, so mtime order reproduces the original
+	// upload order and the reassigned sequence numbers rank bundles the
+	// same way they ranked before the restart. Loading by filename would
+	// order by content hash instead, silently reshuffling
+	// Manifest.DesiredGeneration comparisons across a restart.
+	type storedFile struct {
+		name string
+		mod  time.Time
+	}
+	files := make([]storedFile, 0, len(entries))
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
 		name := e.Name()
-		if strings.HasSuffix(name, ".pmlb") || strings.HasSuffix(name, ".json") {
-			names = append(names, name)
+		if !strings.HasSuffix(name, ".pmlb") && !strings.HasSuffix(name, ".json") {
+			continue
 		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, storedFile{name: name, mod: info.ModTime()})
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		data, err := os.ReadFile(filepath.Join(dir, name))
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mod.Equal(files[j].mod) {
+			return files[i].mod.Before(files[j].mod)
+		}
+		return files[i].name < files[j].name
+	})
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(dir, f.name))
 		if err != nil {
 			continue
 		}
@@ -108,23 +127,37 @@ func (s *Store) Put(data []byte) (hash string, existed bool, err error) {
 	}
 	hash = HashOf(data)
 
-	s.mu.Lock()
-	if _, ok := s.data[hash]; ok {
-		s.mu.Unlock()
+	s.mu.RLock()
+	_, ok := s.data[hash]
+	s.mu.RUnlock()
+	if ok {
 		return hash, true, nil
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	s.data[hash] = cp
-	s.seq[hash] = s.next
-	s.next++
-	s.mu.Unlock()
 
+	// Persist before committing to the map: a bundle the store admits to
+	// holding must survive a restart. The reverse order would leave a
+	// failed write serving from memory only, and — because the existed
+	// fast path never re-persists — a retried upload of the same bytes
+	// would silently skip the disk write forever.
 	if s.dir != "" {
 		if err := writeAtomic(filepath.Join(s.dir, hash+".pmlb"), data); err != nil {
 			return hash, false, fmt.Errorf("controlplane: persist bundle: %w", err)
 		}
 	}
+
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	if _, ok := s.data[hash]; ok {
+		// A concurrent Put of the same bytes won the race; both persisted
+		// the identical content-addressed file, so nothing is lost.
+		s.mu.Unlock()
+		return hash, true, nil
+	}
+	s.data[hash] = cp
+	s.seq[hash] = s.next
+	s.next++
+	s.mu.Unlock()
 	return hash, false, nil
 }
 
@@ -138,7 +171,10 @@ func (s *Store) Get(hash string) (data []byte, ok bool) {
 
 // Seq returns the upload sequence number for hash (0 if absent). The
 // sequence is the store's monotonic generation counter surfaced as
-// Manifest.DesiredGeneration.
+// Manifest.DesiredGeneration. Within a process lifetime it grows by one
+// per accepted upload; after a restart the reload renumbers from 1 but
+// preserves the original upload order (mtime-ordered reload), so
+// relative comparisons stay meaningful while absolute values do not.
 func (s *Store) Seq(hash string) uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/pml-mpi/pmlmpi/pkg/synth"
 )
@@ -111,6 +112,93 @@ func TestStorePersistsAndReloads(t *testing.T) {
 		if _, ok := s2.Get(h); !ok {
 			t.Fatalf("reloaded store missing %s", short(h))
 		}
+	}
+}
+
+// TestStorePutDoesNotCommitOnPersistFailure: a bundle the store could
+// not persist must not be served from memory — otherwise a retried
+// upload short-circuits on existed=true and memory and disk silently
+// diverge until restart.
+func TestStorePutDoesNotCommitOnPersistFailure(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bundles")
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	data := synthBundle(t, 1)
+
+	// Remove the directory out from under the store so writeAtomic fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatalf("remove store dir: %v", err)
+	}
+	if _, _, err := s.Put(data); err == nil {
+		t.Fatal("Put succeeded with the store dir missing")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("failed Put left %d bundles in memory", s.Len())
+	}
+	if _, ok := s.Get(HashOf(data)); ok {
+		t.Fatal("failed Put left the bundle readable")
+	}
+
+	// Once persistence is possible again, the retried upload both commits
+	// and lands on disk.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("recreate store dir: %v", err)
+	}
+	hash, existed, err := s.Put(data)
+	if err != nil || existed {
+		t.Fatalf("retried Put: existed=%v err=%v, want fresh success", existed, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, hash+".pmlb")); err != nil {
+		t.Fatalf("retried Put did not persist: %v", err)
+	}
+}
+
+// TestStoreReloadPreservesUploadOrder: sequence numbers are renumbered
+// on reload but must rank bundles in their original upload order, not
+// in content-hash (filename) order.
+func TestStoreReloadPreservesUploadOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	// Upload in the opposite of hash order, so a filename-sorted reload
+	// would swap the sequence numbers.
+	first, second := synthBundle(t, 1), synthBundle(t, 2)
+	if HashOf(first) < HashOf(second) {
+		first, second = second, first
+	}
+	h1, _, err := s.Put(first)
+	if err != nil {
+		t.Fatalf("Put first: %v", err)
+	}
+	h2, _, err := s.Put(second)
+	if err != nil {
+		t.Fatalf("Put second: %v", err)
+	}
+	// Real uploads are spread out in time; the test's back-to-back writes
+	// could land in the same mtime tick, so separate them explicitly.
+	base := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, h1+".pmlb"), base, base); err != nil {
+		t.Fatalf("Chtimes: %v", err)
+	}
+	later := base.Add(2 * time.Second)
+	if err := os.Chtimes(filepath.Join(dir, h2+".pmlb"), later, later); err != nil {
+		t.Fatalf("Chtimes: %v", err)
+	}
+
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("reload NewStore: %v", err)
+	}
+	if s2.Seq(h1) != 1 || s2.Seq(h2) != 2 {
+		t.Fatalf("reload renumbered out of upload order: Seq(h1)=%d Seq(h2)=%d, want 1,2",
+			s2.Seq(h1), s2.Seq(h2))
+	}
+	if hashes := s2.Hashes(); len(hashes) != 2 || hashes[0] != h1 || hashes[1] != h2 {
+		t.Fatalf("reloaded Hashes = %v, want [%s %s]", hashes, short(h1), short(h2))
 	}
 }
 

@@ -279,6 +279,14 @@ func (a *Agent) reconcile(ctx context.Context, m controlplane.Manifest) error {
 	if desired == "" {
 		return nil
 	}
+	// A soaking candidate the manifest no longer desires was withdrawn
+	// mid-soak (operator rollback, or another replica tripping a fleet
+	// gate): abort it before anything else, so the soak deadline can
+	// never promote a hash the control plane has already walked back.
+	// This must run before the active==desired early return — on a
+	// rollback the replica is typically still serving the stable hash.
+	a.abortWithdrawnCandidate(desired)
+
 	active := a.cfg.Registry.ActiveGeneration()
 	if active != nil && active.Hash() == desired {
 		a.mu.Lock()
@@ -301,6 +309,15 @@ func (a *Agent) reconcile(ctx context.Context, m controlplane.Manifest) error {
 		return nil // already staged, soaking
 	}
 	adopt := a.deb.Observe(desired)
+	if !adopt && a.deb.Applied() == desired {
+		// The desired hash was already debounce-confirmed and adopted
+		// once, yet the active generation drifted away from it (e.g. a
+		// stale-manifest promote that raced a rollback). A value that
+		// survived the two-observation filter before needs no second
+		// soak of stability: re-adopt immediately so the replica
+		// converges back instead of wedging on "already applied".
+		adopt = true
+	}
 	knownID, resident := a.known[desired]
 	a.mu.Unlock()
 	if !adopt {
@@ -406,6 +423,9 @@ func (a *Agent) evaluateSoak() {
 	now := a.cfg.Now()
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.cand != cand || cand.status != controlplane.CandidateSoaking {
+		return // aborted or replaced while we polled the shadow report
+	}
 	if cand.samples >= a.cfg.MinShadowSamples && cand.agreement < a.cfg.MinAgreement {
 		cand.status = controlplane.CandidateRejected
 		a.rejected[cand.hash] = fmt.Sprintf("shadow agreement %.3f below %.3f over %d samples",
@@ -421,6 +441,16 @@ func (a *Agent) evaluateSoak() {
 		return
 	}
 	if now.Before(cand.deadline) {
+		return
+	}
+	if a.manifest.DesiredHash != cand.hash {
+		// The manifest stopped desiring this hash while it soaked but the
+		// reconcile-side abort has not caught up (e.g. polls are failing
+		// and the last-known manifest already reflects the rollback).
+		// Promoting now would serve a withdrawn bundle: drop the
+		// candidate instead and let reconcile converge on what the
+		// control plane actually wants.
+		a.dropCandidateLocked("manifest no longer desires soaking candidate")
 		return
 	}
 	// Deadline reached without the gate tripping: promote. Thin evidence
@@ -441,6 +471,38 @@ func (a *Agent) evaluateSoak() {
 		"hash", shortHash(cand.hash),
 		"agreement", cand.agreement,
 		"samples", cand.samples)
+}
+
+// abortWithdrawnCandidate drops a soaking candidate whose hash the
+// manifest no longer desires. Aborting is not a verdict on the bundle —
+// the hash is not marked rejected — but the half-soaked generation is
+// forgotten (removed from known) so a future rollout of the same hash
+// starts a fresh pull-and-soak instead of taking the vetted-resident
+// fast path.
+func (a *Agent) abortWithdrawnCandidate(desired string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cand == nil || a.cand.status != controlplane.CandidateSoaking || a.cand.hash == desired {
+		return
+	}
+	a.dropCandidateLocked("withdrawn by manifest, now desires " + shortHash(desired))
+}
+
+// dropCandidateLocked clears the current candidate and its shadow
+// staging without judging the hash. Caller holds a.mu.
+func (a *Agent) dropCandidateLocked(why string) {
+	cand := a.cand
+	a.cand = nil
+	delete(a.known, cand.hash)
+	if a.cfg.Shadow != nil {
+		a.cfg.Shadow.ClearCandidate()
+	}
+	a.verdicts.Inc("aborted")
+	a.o.Logger.Info("replica aborted soaking candidate",
+		"hash", shortHash(cand.hash),
+		"reason", why,
+		"samples", cand.samples,
+		"agreement", cand.agreement)
 }
 
 // fetchBundle pulls bundle bytes by content hash.

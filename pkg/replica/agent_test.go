@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -163,6 +164,176 @@ func TestAgentRejectsHashMismatch(t *testing.T) {
 	}
 	if a.pulls.Value("invalid") == 0 {
 		t.Fatal("hash mismatch was not counted as an invalid pull")
+	}
+}
+
+// newSoakingAgent builds an agent with shadow evaluation and a manual
+// clock, so soak deadlines are driven by the test instead of wall time.
+// MinShadowSamples is set high enough that the agreement gate can never
+// trip — only the deadline (and the withdrawal checks) decide.
+func newSoakingAgent(t *testing.T, url string, clock *time.Time) (*Agent, *registry.Registry) {
+	t.Helper()
+	o := obs.NewForTest()
+	sh := registry.NewShadow(o, registry.ShadowConfig{Fraction: 1})
+	reg := registry.New(o, registry.Config{Shadow: sh})
+	a, err := NewAgent(o, AgentConfig{
+		ControlPlane:     url,
+		ReplicaID:        "r-test",
+		Registry:         reg,
+		Shadow:           sh,
+		PollInterval:     10 * time.Millisecond,
+		StageSoak:        10 * time.Second,
+		MinShadowSamples: 1 << 20,
+		Now:              func() time.Time { return *clock },
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	return a, reg
+}
+
+// TestAgentAbortsWithdrawnCandidateMidSoak covers the operator-rollback
+// race: the control plane withdraws a candidate while it is still
+// soaking on this replica. The agent must abort the soak — the deadline
+// must never promote the withdrawn hash — without marking it rejected,
+// so a later re-rollout of the same hash soaks afresh.
+func TestAgentAbortsWithdrawnCandidateMidSoak(t *testing.T) {
+	url, store, ro, stable := newCtl(t)
+	clock := time.Unix(1_700_000_000, 0)
+	a, reg := newSoakingAgent(t, url, &clock)
+	ctx := context.Background()
+
+	a.Tick(ctx)
+	a.Tick(ctx)
+	if g := reg.ActiveGeneration(); g == nil || g.Hash() != stable {
+		t.Fatal("agent did not bootstrap to stable")
+	}
+
+	cand, _, err := store.Put(bundleJSON(t, 2))
+	if err != nil {
+		t.Fatalf("Put candidate: %v", err)
+	}
+	if err := ro.Start(cand); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	a.Tick(ctx)
+	a.Tick(ctx)
+	if st := a.Status(); st.CandidateHash != cand || st.CandidateStatus != controlplane.CandidateSoaking {
+		t.Fatalf("candidate not soaking after rollout start: %+v", st)
+	}
+
+	// The operator rolls back while the candidate soaks.
+	if err := ro.Rollback("operator rollback"); err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	a.Tick(ctx)
+	if st := a.Status(); st.CandidateHash != "" {
+		t.Fatalf("candidate not aborted after rollback: %+v", st)
+	}
+
+	// Even long past the soak deadline nothing promotes.
+	clock = clock.Add(time.Minute)
+	a.Tick(ctx)
+	a.Tick(ctx)
+	if g := reg.ActiveGeneration(); g == nil || g.Hash() != stable {
+		t.Fatal("agent promoted a withdrawn candidate")
+	}
+	if v := a.verdicts.Value("aborted"); v != 1 {
+		t.Fatalf("aborted verdicts = %v, want 1", v)
+	}
+	if v := a.verdicts.Value("rejected"); v != 0 {
+		t.Fatalf("rejected verdicts = %v, want 0 (abort is not a judgment)", v)
+	}
+
+	// A re-rollout of the same hash is not sticky-blocked: the agent
+	// re-pulls and re-soaks from scratch.
+	if err := ro.Start(cand); err != nil {
+		t.Fatalf("re-Start: %v", err)
+	}
+	a.Tick(ctx)
+	a.Tick(ctx)
+	if st := a.Status(); st.CandidateHash != cand || st.CandidateStatus != controlplane.CandidateSoaking {
+		t.Fatalf("re-rollout did not restage the candidate: %+v", st)
+	}
+	clock = clock.Add(11 * time.Second)
+	a.Tick(ctx)
+	if g := reg.ActiveGeneration(); g == nil || g.Hash() != cand {
+		t.Fatal("re-rolled-out candidate did not promote at the soak deadline")
+	}
+}
+
+// TestAgentRevertsAfterStaleManifestPromote covers the uglier variant:
+// the rollback lands while the control plane is unreachable, so the
+// replica's last-known manifest still desires the candidate when the
+// soak deadline promotes it. Once polling recovers the replica must
+// converge back to the stable hash rather than serving the rolled-back
+// bundle forever.
+func TestAgentRevertsAfterStaleManifestPromote(t *testing.T) {
+	store, _ := controlplane.NewStore("")
+	ro := controlplane.NewRollout(store, controlplane.RolloutConfig{})
+	ctl := controlplane.NewServer(store, ro, obs.NewForTest(), controlplane.ServerConfig{})
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "control plane unreachable", http.StatusServiceUnavailable)
+			return
+		}
+		ctl.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	stable, _, err := store.Put(bundleJSON(t, 1))
+	if err != nil {
+		t.Fatalf("seed stable: %v", err)
+	}
+	if err := ro.SetStable(stable); err != nil {
+		t.Fatalf("SetStable: %v", err)
+	}
+
+	clock := time.Unix(1_700_000_000, 0)
+	a, reg := newSoakingAgent(t, ts.URL, &clock)
+	ctx := context.Background()
+	a.Tick(ctx)
+	a.Tick(ctx)
+
+	cand, _, err := store.Put(bundleJSON(t, 2))
+	if err != nil {
+		t.Fatalf("Put candidate: %v", err)
+	}
+	if err := ro.Start(cand); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	a.Tick(ctx)
+	a.Tick(ctx)
+	if st := a.Status(); st.CandidateStatus != controlplane.CandidateSoaking {
+		t.Fatalf("candidate not soaking: %+v", st)
+	}
+
+	// The control plane goes dark, then rolls back where the replica
+	// cannot see it; the soak deadline passes during the outage.
+	down.Store(true)
+	if err := ro.Rollback("operator rollback during outage"); err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	clock = clock.Add(30 * time.Second)
+	a.Tick(ctx)
+	// With only a stale manifest that still desires the candidate, the
+	// deadline promote fires — benefit of the doubt.
+	if g := reg.ActiveGeneration(); g == nil || g.Hash() != cand {
+		t.Fatal("deadline promote with a stale manifest did not fire")
+	}
+
+	// Polling recovers: the replica must revert to the stable hash.
+	down.Store(false)
+	for i := 0; i < 6; i++ {
+		clock = clock.Add(5 * time.Second) // clear any armed backoff
+		a.Tick(ctx)
+	}
+	if g := reg.ActiveGeneration(); g == nil || g.Hash() != stable {
+		got := ""
+		if g := reg.ActiveGeneration(); g != nil {
+			got = g.Hash()[:12]
+		}
+		t.Fatalf("replica serves %q after recovery, want rolled-back stable", got)
 	}
 }
 
